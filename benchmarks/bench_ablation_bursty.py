@@ -1,0 +1,9 @@
+"""Ablation: bursty market-feed arrivals (the paper's "peak time" motivation).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).
+"""
+
+
+def test_figure_a6(run_figure):
+    run_figure("A6")

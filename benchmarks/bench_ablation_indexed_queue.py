@@ -1,0 +1,10 @@
+"""Ablation: hash-indexed update queue for OD (paper section 4.4 future work).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_a1(run_figure):
+    run_figure("A1")

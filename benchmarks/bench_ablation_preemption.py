@@ -1,0 +1,10 @@
+"""Ablation: transaction preemption on/off (paper Table 3 'preemption').
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_a4(run_figure):
+    run_figure("A4")

@@ -1,0 +1,10 @@
+"""Ablation: TF with split importance queues (paper section 4.2 future work).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_a3(run_figure):
+    run_figure("A3")

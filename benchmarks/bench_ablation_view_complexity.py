@@ -1,0 +1,9 @@
+"""Ablation: view complexity — transformed installs (paper section 2).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).
+"""
+
+
+def test_figure_a5(run_figure):
+    run_figure("A5")

@@ -1,0 +1,10 @@
+"""CPU time split between transactions and updates vs lambda_t (paper Figure 3).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_3(run_figure):
+    run_figure("3")

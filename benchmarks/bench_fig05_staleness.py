@@ -1,0 +1,10 @@
+"""Stale fractions of both view partitions vs lambda_t (paper Figure 5).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_5(run_figure):
+    run_figure("5")

@@ -1,0 +1,10 @@
+"""p_success and p_suc|nontardy vs lambda_t (paper Figure 6).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_6(run_figure):
+    run_figure("6")

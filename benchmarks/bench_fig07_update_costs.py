@@ -1,0 +1,10 @@
+"""AV sensitivity to x_update and x_queue (paper Figure 7).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_7(run_figure):
+    run_figure("7")

@@ -1,0 +1,10 @@
+"""AV sensitivity to the OD queue-scan cost x_scan (paper Figure 8).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_8(run_figure):
+    run_figure("8")

@@ -1,0 +1,10 @@
+"""p_success and AV vs the update arrival rate lambda_u (paper Figure 9).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_9(run_figure):
+    run_figure("9")

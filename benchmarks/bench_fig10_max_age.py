@@ -1,0 +1,10 @@
+"""AV vs the maximum age alpha, fixed and rescaled views (paper Figure 10).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_10(run_figure):
+    run_figure("10")

@@ -1,0 +1,10 @@
+"""FIFO/LIFO ratios of staleness and success (paper Figure 11).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_11(run_figure):
+    run_figure("11")

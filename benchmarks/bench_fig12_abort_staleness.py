@@ -1,0 +1,10 @@
+"""fold_h under MA with stale-read aborts (paper Figure 12).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_12(run_figure):
+    run_figure("12")

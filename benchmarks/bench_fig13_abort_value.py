@@ -1,0 +1,10 @@
+"""AV under MA with stale-read aborts (paper Figure 13).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_13(run_figure):
+    run_figure("13")

@@ -1,0 +1,10 @@
+"""p_success under MA with stale-read aborts (paper Figure 14).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_14(run_figure):
+    run_figure("14")

@@ -1,0 +1,10 @@
+"""AV vs p_view with stale-read aborts (paper Figure 15).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_15(run_figure):
+    run_figure("15")

@@ -1,0 +1,10 @@
+"""p_success vs lambda_t under Unapplied-Update staleness (paper Figure 16).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the benchmarked unit is
+the full figure reproduction (sweep + tables + shape checks).  Sweeps
+shared between figures are cached across benchmarks within one session.
+"""
+
+
+def test_figure_16(run_figure):
+    run_figure("16")

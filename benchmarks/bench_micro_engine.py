@@ -1,0 +1,65 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+These measure the substrate's raw throughput (events dispatched per
+second, queue operations per second, one full baseline run per
+algorithm) so regressions in the hot path show up independently of the
+figure harness.
+"""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation
+from repro.db.objects import ObjectClass, Update
+from repro.db.update_queue import UpdateQueue
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.001, tick)
+        engine.run_until(1e9)
+        return count
+
+    assert benchmark(run_events) == 50_000
+
+
+def test_update_queue_throughput(benchmark):
+    def churn():
+        queue = UpdateQueue(5600)
+        seq = 0
+        for round_number in range(200):
+            now = round_number * 0.01
+            for _ in range(20):
+                queue.push(
+                    Update(seq, ObjectClass.VIEW_LOW, seq % 500, 0.0,
+                           now - 0.05, now),
+                    now,
+                )
+                seq += 1
+            for _ in range(18):
+                queue.pop_next(lifo=False, now=now)
+            queue.expire_older_than(now - 7.0, now)
+        return seq
+
+    assert benchmark(churn) == 4000
+
+
+@pytest.mark.parametrize("algorithm", ["UF", "TF", "SU", "OD"])
+def test_simulation_runtime(benchmark, algorithm):
+    """Wall-clock cost of one 20-simulated-second baseline run."""
+    config = baseline_config(duration=20.0)
+
+    result = benchmark.pedantic(
+        run_simulation, args=(config, algorithm), rounds=1, iterations=1
+    )
+    assert result.update_conservation_gap() == 0

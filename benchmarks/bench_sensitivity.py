@@ -1,0 +1,34 @@
+"""Sensitivity analysis of the headline conclusions (paper section 5).
+
+The paper states it "performed sensitivity analysis on simulation
+parameters"; this benchmark reproduces that exercise for the two headline
+metrics — TF's miss rate and OD's success rate — and prints the ranked
+elasticities.
+"""
+
+from repro.experiments.sensitivity import analyze_sensitivity, format_sensitivity
+from repro.experiments.sweeps import scaled_baseline
+
+
+def test_sensitivity_analysis(benchmark, experiment_scale):
+    config = scaled_baseline(experiment_scale)
+
+    def run():
+        return (
+            analyze_sensitivity(config, "TF", "p_md"),
+            analyze_sensitivity(config, "OD", "p_success"),
+        )
+
+    tf_rows, od_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_sensitivity(tf_rows, "p_md", "TF"))
+    print()
+    print(format_sensitivity(od_rows, "p_success", "OD"))
+
+    tf_by_name = {row.parameter: row for row in tf_rows}
+    od_by_name = {row.parameter: row for row in od_rows}
+    # TF's deadline misses are governed by load, not by update costs.
+    assert tf_rows[0].parameter in ("lambda_t", "compute_mean")
+    assert abs(tf_by_name["x_update"].elasticity) < 0.2
+    # OD's success improves (or is flat) with faster updates / more slack.
+    assert od_by_name["lambda_t"].elasticity < 0.0

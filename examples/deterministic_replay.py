@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Deterministic replay: record a workload, replay it through any policy.
+
+Demonstrates the trace tooling and the scripted-run API:
+
+1. record the stochastic update stream of one run with a TraceRecorder,
+2. replay the *identical* stream (plus a hand-written transaction) through
+   every scheduling algorithm via ``Simulation.run_scripted``, and
+3. show step-by-step where each policy installed one specific update.
+
+This is the methodology behind the library's common-random-numbers
+guarantee, and a handy harness for debugging a scheduler decision.
+
+Usage::
+
+    python examples/deterministic_replay.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Simulation, baseline_config, format_table
+from repro.db.objects import ObjectClass
+from repro.sim.engine import Engine
+from repro.sim.streams import StreamFamily
+from repro.workload.trace import TraceRecorder
+from repro.workload.transactions import TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+
+
+def record_stream(config, horizon):
+    """Capture the update stream the generator would produce."""
+    engine = Engine()
+    recorder = TraceRecorder()
+    UpdateStreamGenerator(
+        config, engine, StreamFamily(config.seed), recorder
+    ).start()
+    engine.run_until(horizon)
+    return recorder.items
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="simulated horizon to record and replay")
+    parser.add_argument("--rate", type=float, default=40.0,
+                        help="update arrival rate (default 40/s)")
+    args = parser.parse_args()
+
+    config = baseline_config(duration=args.seconds).with_updates(
+        arrival_rate=args.rate, n_low=8, n_high=8
+    )
+
+    updates = record_stream(config, horizon=args.seconds)
+    print(f"recorded {len(updates)} updates; first five:")
+    for update in updates[:5]:
+        print(f"  t={update.arrival_time:7.4f}  {update.klass.value}#"
+              f"{update.object_id}  generated at {update.generation_time:.4f}")
+    print()
+
+    # One hand-written transaction reading low-importance object 0 while
+    # the stream is in flight.
+    reader = TransactionSpec(
+        seq=0, arrival_time=2.0, high_value=False, value=1.0,
+        compute_time=0.3, reads=(0,), slack=0.5,
+    )
+
+    rows = []
+    for name in ("UF", "TF", "SU", "OD"):
+        sim = Simulation(config, name)
+        result = sim.run_scripted(updates=updates, transactions=[reader])
+        obj = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        rows.append((
+            name,
+            result.updates_applied,
+            result.updates_enqueued,
+            result.preemptions,
+            f"{obj.install_time:.4f}",
+            result.stale_reads,
+        ))
+    print(format_table(
+        ("alg", "applied", "enqueued", "preempts", "obj0 last install", "stale reads"),
+        rows,
+        title="Identical recorded stream through each policy",
+    ))
+    print()
+    print("Same arrivals, different schedules: UF preempts and applies "
+          "everything immediately, TF/OD batch installs into idle time, SU "
+          "splits by importance. Determinism makes such comparisons exact.")
+
+
+if __name__ == "__main__":
+    main()

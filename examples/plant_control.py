@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Industrial plant control: periodic sensors with Maximum-Age staleness.
+
+The paper motivates the MA staleness definition with plant control
+(section 2): sensors report on a regular basis, data that has not been
+refreshed recently is *suspect*, and it is better to act on stale data
+with a warning light than to do nothing — so stale reads WARN instead of
+aborting.
+
+This example exercises two extensions the paper sketches:
+
+* the PERIODIC update pattern (each sensor reports on a fixed scan cycle)
+  instead of the Poisson stream, and
+* the WARN stale-read action (the control-room "red light").
+
+Safety-critical sensors (pressure, temperature interlocks) live in the
+high-importance partition; Split Updates (SU) is the paper's recommended
+compromise when those must stay fresh but control loops still have
+deadlines — the comparison below shows why.
+
+Usage::
+
+    python examples/plant_control.py [--sensors 400] [--scan-rate 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    StaleReadAction,
+    UpdatePattern,
+    baseline_config,
+    format_table,
+    run_simulation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sensors", type=int, default=400,
+                        help="total sensor count (default 400)")
+    parser.add_argument("--scan-rate", type=float, default=200.0,
+                        help="aggregate sensor reports/second (default 200)")
+    parser.add_argument("--seconds", type=float, default=60.0)
+    args = parser.parse_args()
+
+    critical = args.sensors // 4
+    config = baseline_config(duration=args.seconds)
+    config.warmup = min(12.0, args.seconds / 4)
+    config = (
+        config
+        .with_updates(
+            pattern=UpdatePattern.PERIODIC,
+            arrival_rate=args.scan_rate,
+            n_low=args.sensors - critical,
+            n_high=critical,
+            mean_age=0.02,
+        )
+        .with_transactions(
+            # Control loops arrive fast enough to contend with the scan
+            # cycle for the CPU — the regime where the scheduler matters.
+            arrival_rate=25.0,
+            # A reading older than two full scan cycles is suspect.
+            max_age=2.0 * args.sensors / args.scan_rate,
+            stale_read_action=StaleReadAction.WARN,
+            compute_mean=0.06,
+            compute_stdev=0.005,
+            reads_mean=3.0,
+        )
+    )
+
+    rows = []
+    for name in ("UF", "TF", "SU", "OD"):
+        result = run_simulation(config, name)
+        warned = result.transactions_committed - result.transactions_committed_fresh
+        rows.append((
+            name,
+            result.p_md,
+            result.transactions_committed,
+            warned,
+            result.fold_high,
+            result.fold_low,
+        ))
+    print(format_table(
+        ("alg", "p_MD", "loops done", "red lights", "fold_critical", "fold_other"),
+        rows,
+        title=f"Plant control: {args.sensors} sensors ({critical} critical), "
+              f"{args.scan_rate:g} reports/s, periodic scan, WARN on stale",
+    ))
+    print()
+    print("SU keeps the critical partition as fresh as UF while missing "
+          "fewer control-loop deadlines and lighting far fewer red lights "
+          "than TF — the paper's recommended compromise when freshness "
+          "matters most for a known-valuable subset of the view. OD avoids "
+          "red lights entirely by refreshing suspect readings on demand.")
+
+
+if __name__ == "__main__":
+    main()

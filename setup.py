@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so `pip install -e .` works in offline environments that lack the
+`wheel` package (pip then uses the setup.py develop path instead of a
+PEP 660 editable wheel).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

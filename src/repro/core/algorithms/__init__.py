@@ -1,0 +1,35 @@
+"""The scheduling algorithms of paper section 4, plus extensions.
+
+* :class:`UpdateFirst` (UF) — updates preempt transactions and are applied
+  on arrival.
+* :class:`TransactionFirst` (TF) — updates are queued and installed only
+  when no transactions are runnable.
+* :class:`SplitUpdates` (SU) — high-importance updates behave like UF,
+  low-importance ones like TF.
+* :class:`OnDemand` (OD) — TF plus: a transaction that reads stale data
+  first tries to refresh it from the update queue.
+* :class:`FixedFraction` (FX) — future-work extension: updates are
+  guaranteed a fixed fraction of the CPU.
+* ``TF-SPLIT`` — future-work extension: TF with the update queue
+  partitioned by importance and high-importance updates served first.
+"""
+
+from repro.core.algorithms.base import SchedulingAlgorithm
+from repro.core.algorithms.fixed_fraction import FixedFraction
+from repro.core.algorithms.on_demand import OnDemand
+from repro.core.algorithms.registry import ALGORITHMS, make_algorithm
+from repro.core.algorithms.split_updates import SplitUpdates
+from repro.core.algorithms.transaction_first import SplitQueueTransactionFirst, TransactionFirst
+from repro.core.algorithms.update_first import UpdateFirst
+
+__all__ = [
+    "ALGORITHMS",
+    "FixedFraction",
+    "OnDemand",
+    "SchedulingAlgorithm",
+    "SplitQueueTransactionFirst",
+    "SplitUpdates",
+    "TransactionFirst",
+    "UpdateFirst",
+    "make_algorithm",
+]

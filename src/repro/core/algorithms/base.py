@@ -1,0 +1,71 @@
+"""Scheduling-algorithm interface.
+
+An algorithm owns two decisions (paper section 4): with what priority the
+update process runs relative to transactions, and which queued update to
+install next.  It expresses them through two hooks:
+
+* :meth:`on_update_arrival` — called the moment an update lands in the OS
+  queue; this is where preemptive algorithms interrupt the running
+  transaction.
+* :meth:`select_work` — called by the controller's dispatch loop whenever
+  the CPU is free; the algorithm starts exactly one burst (returning
+  ``BUSY``), performs an instantaneous action (``AGAIN``), or declares the
+  system idle (``IDLE``).
+"""
+
+from __future__ import annotations
+
+from repro.db.objects import ObjectClass, Update
+
+
+class SchedulingAlgorithm:
+    """Base class for update/transaction co-scheduling policies."""
+
+    #: Short name used by the registry, result rows, and plots.
+    name = "?"
+
+    #: One-line description for reports.
+    description = ""
+
+    #: True for algorithms that refresh stale objects from the update queue
+    #: during transaction reads (the OD family).
+    on_demand = False
+
+    #: True when the algorithm buffers updates in the application-level
+    #: update queue (everything except UF).
+    uses_update_queue = True
+
+    #: True when the algorithm wants the update queue partitioned by
+    #: importance with high-importance updates served first (TF-SPLIT).
+    wants_partitioned_queue = False
+
+    def attach(self, controller) -> None:
+        """Called once when the controller is built."""
+        self.controller = controller
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_update_arrival(self, ctl, update: Update) -> None:
+        """React to an update landing in the OS queue.
+
+        The default (used by the queue-based algorithms) starts the
+        dispatch loop only if the CPU is idle: a running transaction or
+        update burst is never interrupted.
+        """
+        if ctl.idle:
+            ctl.dispatch()
+
+    def select_work(self, ctl) -> str:
+        """Choose the next activity; see module docstring for the protocol."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def is_high_importance(self, update: Update) -> bool:
+        """Class test used by importance-aware policies."""
+        return update.klass is ObjectClass.VIEW_HIGH
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,44 @@
+"""Fixed CPU Fraction (FX) — an extension from the paper's future work.
+
+Section 7 lists "giving a fixed CPU fraction to updates" as an unexplored
+scheduling algorithm.  FX reserves a target fraction ``f`` of CPU time for
+the update process: at every scheduling point, if the update process has so
+far consumed less than ``f`` of elapsed time, update work runs first;
+otherwise transactions do.  The policy is work-conserving — whichever side
+has nothing to do yields the CPU to the other.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import SchedulingAlgorithm
+from repro.core.controller import BUSY, IDLE
+
+
+class FixedFraction(SchedulingAlgorithm):
+    """Guarantee the update process a fixed share of the CPU."""
+
+    name = "FX"
+    description = "updates guaranteed a fixed CPU fraction"
+
+    def __init__(self, fraction: float = 0.2) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction out of [0,1]: {fraction}")
+        self.fraction = fraction
+
+    def select_work(self, ctl) -> str:
+        status = ctl.drain_os_to_queue()
+        if status is BUSY:
+            return status
+        elapsed = ctl.engine.now
+        updates_behind = (
+            elapsed > 0 and ctl.cpu.update_seconds < self.fraction * elapsed
+        )
+        if updates_behind:
+            status = ctl.start_install_from_queue()
+            if status is not IDLE:
+                return status
+            return ctl.start_best_transaction()
+        status = ctl.start_best_transaction()
+        if status is not IDLE:
+            return status
+        return ctl.start_install_from_queue()

@@ -1,0 +1,29 @@
+"""Apply Updates On Demand (OD) — paper section 4.4.
+
+An extension of TF: transactions still take precedence over the update
+process, but when a transaction reads a *stale* object the update queue is
+first searched for an applicable update; if one is found that would make
+the object fresh, it is applied in-line (scan cost ``x_scan`` per queued
+update, apply cost ``x_update``) and the transaction proceeds with fresh
+data.
+
+Under the UU staleness definition the scan doubles as the staleness check
+itself, so OD scans on *every* view read (paper section 6.3).
+
+With the ``indexed_update_queue`` system option (section 4.4's hash-table
+future work) the queue keeps only the newest update per object; the
+controller's scan cost then collapses because the queue stays near one
+entry per dirty object and lookups are O(1).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.transaction_first import TransactionFirst
+
+
+class OnDemand(TransactionFirst):
+    """TF plus on-demand refresh of stale objects from the update queue."""
+
+    name = "OD"
+    description = "TF plus in-line refresh of stale reads from the queue"
+    on_demand = True

@@ -1,0 +1,51 @@
+"""Algorithm registry: names → factories.
+
+The experiment harness, examples, and CLI all refer to algorithms by their
+paper names; :func:`make_algorithm` turns a name (plus optional
+per-algorithm keyword arguments) into a fresh instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.algorithms.base import SchedulingAlgorithm
+from repro.core.algorithms.fixed_fraction import FixedFraction
+from repro.core.algorithms.on_demand import OnDemand
+from repro.core.algorithms.split_updates import SplitUpdates
+from repro.core.algorithms.transaction_first import (
+    SplitQueueTransactionFirst,
+    TransactionFirst,
+)
+from repro.core.algorithms.update_first import UpdateFirst
+
+ALGORITHMS: dict[str, Callable[..., SchedulingAlgorithm]] = {
+    UpdateFirst.name: UpdateFirst,
+    TransactionFirst.name: TransactionFirst,
+    SplitUpdates.name: SplitUpdates,
+    OnDemand.name: OnDemand,
+    FixedFraction.name: FixedFraction,
+    SplitQueueTransactionFirst.name: SplitQueueTransactionFirst,
+}
+
+#: The four algorithms the paper evaluates, in its presentation order.
+PAPER_ALGORITHMS = (UpdateFirst.name, TransactionFirst.name,
+                    SplitUpdates.name, OnDemand.name)
+
+
+def make_algorithm(name: str, **kwargs) -> SchedulingAlgorithm:
+    """Instantiate an algorithm by its registry name.
+
+    Args:
+        name: One of ``UF``, ``TF``, ``SU``, ``OD``, ``FX``, ``TF-SPLIT``
+            (case-insensitive).
+        **kwargs: Algorithm-specific options (e.g. ``fraction=`` for FX).
+
+    Raises:
+        KeyError: for an unknown name, with the known names in the message.
+    """
+    factory = ALGORITHMS.get(name.upper())
+    if factory is None:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
+    return factory(**kwargs)

@@ -1,0 +1,49 @@
+"""Transaction First (TF) — paper section 4.2.
+
+Transactions always take precedence; updates are received into the update
+queue and installed only when no transaction is runnable.  A transaction
+arriving while an update is being installed waits (updates are short and
+are never preempted).  The queue is served FIFO or LIFO per the configured
+discipline, bounded by ``UQmax`` (oldest discarded on overflow), and — under
+the MA staleness definition — purged of expired updates at every scheduling
+point.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import SchedulingAlgorithm
+from repro.core.controller import BUSY, IDLE
+
+
+class TransactionFirst(SchedulingAlgorithm):
+    """Serve transactions first; install updates in idle time."""
+
+    name = "TF"
+    description = "transactions first; updates queued and installed when idle"
+
+    def select_work(self, ctl) -> str:
+        # Receiving is nearly free, so the controller moves OS-queued
+        # updates into the (searchable, expirable) update queue at every
+        # scheduling point; only *installation* waits for idle time.
+        status = ctl.drain_os_to_queue()
+        if status is BUSY:
+            return status
+        status = ctl.start_best_transaction()
+        if status is not IDLE:
+            return status
+        return ctl.start_install_from_queue()
+
+
+class SplitQueueTransactionFirst(TransactionFirst):
+    """TF with the update queue split by importance (section 4.2 future work).
+
+    Low- and high-importance updates are kept in separate queues; when idle
+    time becomes available, high-importance updates are installed first.
+    The split is implemented by
+    :class:`repro.db.update_queue.PartitionedUpdateQueue`, which the
+    simulator selects when ``wants_partitioned_queue`` is set.
+    """
+
+    name = "TF-SPLIT"
+    description = "TF with per-importance queues, high-importance served first"
+    wants_partitioned_queue = True

@@ -1,0 +1,592 @@
+"""The controller process (paper section 3.1).
+
+The paper's conceptual model has three process types — a controller, a
+single update process, and one process per transaction — multiplexed on one
+CPU.  This module collapses that onto a discrete-event *burst* model: the
+controller decides, at every scheduling point, which activity owns the CPU
+next and for how many instructions; the engine delivers the completion.
+
+Scheduling points are: update arrival, transaction arrival, burst
+completion, and transaction deadline expiry.  At each one the controller
+first discards expired updates (constant time, front of the
+generation-ordered queue), then asks the active
+:class:`~repro.core.algorithms.base.SchedulingAlgorithm` to select work.
+
+The cost model is the paper's Table 3: ``x_lookup`` to locate an object,
+``x_update`` to apply a worthy update (skipped updates pay only the
+lookup), ``x_queue * ln(n)`` per queue insert, ``x_scan * n`` per queue
+scan, and ``x_switch`` per context switch, charged to the activity being
+started or restarted.  A preemptive receive (Update-First interrupting a
+running transaction) pays one extra switch, giving the paper's
+``2 * x_switch``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable
+
+from repro.config import QueueDiscipline, SimulationConfig, StaleReadAction, StalenessPolicy
+from repro.core.transaction import LiveTransaction, TransactionState, STEP_READ
+from repro.db.database import Database
+from repro.db.objects import DataObject, Update
+from repro.db.os_queue import OSQueue
+from repro.db.staleness import StalenessChecker
+from repro.db.update_queue import UpdateQueue
+from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
+from repro.metrics.freshness import FreshnessLedger
+from repro.sim.engine import Engine
+from repro.workload.transactions import TransactionSpec
+
+# select_work outcomes
+BUSY = "busy"    # a CPU burst was started
+IDLE = "idle"    # nothing runnable
+AGAIN = "again"  # an instantaneous action was taken; re-evaluate
+
+
+class _Burst:
+    """One CPU occupancy interval."""
+
+    __slots__ = ("category", "seconds", "start", "event", "on_done", "txn",
+                 "preemptible", "switch_seconds")
+
+    def __init__(self, category, seconds, start, event, on_done, txn,
+                 preemptible, switch_seconds):
+        self.category = category
+        self.seconds = seconds
+        self.start = start
+        self.event = event
+        self.on_done = on_done
+        self.txn = txn
+        self.preemptible = preemptible
+        self.switch_seconds = switch_seconds
+
+
+class Controller:
+    """Single-CPU scheduler of update installation and transactions."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        engine: Engine,
+        algorithm,
+        database: Database,
+        os_queue: OSQueue,
+        update_queue: UpdateQueue,
+        checker: StalenessChecker,
+        ledger: FreshnessLedger,
+        transaction_log: TransactionLog,
+        update_accounting: UpdateAccounting,
+        cpu: CpuAccounting,
+    ) -> None:
+        self.config = config
+        self.system = config.system
+        self.engine = engine
+        self.algorithm = algorithm
+        self.database = database
+        self.os_queue = os_queue
+        self.update_queue = update_queue
+        self.checker = checker
+        self.ledger = ledger
+        self.transaction_log = transaction_log
+        self.update_accounting = update_accounting
+        self.cpu = cpu
+
+        self.ready: list[LiveTransaction] = []
+        self.direct_installs: deque[Update] = deque()
+        self._resume_txn: LiveTransaction | None = None
+        self._busy: _Burst | None = None
+        # Updates held by an in-progress burst (an install's subject, or a
+        # receive batch awaiting its enqueue burst) — needed so the
+        # conservation accounting stays exact at the end of the run.
+        self._installing: Update | None = None
+        self._receiving: list[Update] | None = None
+        self._last_owner: object = None
+        self._extra_switches = 0
+
+        self._stale_action = config.transactions.stale_read_action
+        self._lifo = config.system.queue_discipline is QueueDiscipline.LIFO
+        self._max_age = config.transactions.max_age
+        # Queue expiry is only sound when staleness is exactly MA on
+        # generation time (see DESIGN.md): under UU/COMBINED a queued update
+        # still matters regardless of age, and under MA-arrival age is
+        # measured from arrival, which the generation-ordered queue cannot
+        # bound from the front.
+        self._expiry_enabled = config.staleness is StalenessPolicy.MAX_AGE
+        self._seconds = config.system.seconds
+        algorithm.attach(self)
+
+    # ------------------------------------------------------------------
+    # Arrival hooks (called by the workload generators)
+    # ------------------------------------------------------------------
+    def on_update_arrival(self, update: Update) -> None:
+        """Network delivery of one stream update (engine callback)."""
+        self.update_accounting.note_arrival()
+        if not self.os_queue.offer(update):
+            return  # kernel dropped it; the OS queue counts the drop
+        self.algorithm.on_update_arrival(self, update)
+
+    def on_transaction_arrival(self, spec: TransactionSpec) -> None:
+        """Arrival of one transaction (engine callback)."""
+        self.transaction_log.note_arrival(spec.value)
+        txn = LiveTransaction(spec, self.config.transactions, self.system)
+        txn.deadline_event = self.engine.schedule_at(
+            txn.deadline, self._deadline_fired, txn
+        )
+        self.ready.append(txn)
+        if self._busy is None:
+            self.dispatch()
+        elif (
+            self.system.transaction_preemption
+            and self._busy.preemptible
+            and self._busy.txn is not None
+            and txn.value_density() > self._busy.txn.value_density()
+        ):
+            self._preempt_transaction(to_ready=True)
+            self.dispatch()
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no CPU burst is in progress."""
+        return self._busy is None
+
+    @property
+    def transaction_burst_in_progress(self) -> bool:
+        """True when the CPU is running a preemptible transaction step."""
+        busy = self._busy
+        return busy is not None and busy.preemptible and busy.txn is not None
+
+    def dispatch(self) -> None:
+        """Run the scheduling loop until a burst starts or nothing remains."""
+        if self._busy is not None:
+            return
+        while True:
+            self._expire_updates()
+            status = self.algorithm.select_work(self)
+            if status is not AGAIN:
+                return
+
+    def _expire_updates(self) -> None:
+        if self._expiry_enabled and self.update_queue:
+            self.update_queue.expire_older_than(
+                self.engine.now - self._max_age, self.engine.now
+            )
+
+    # ------------------------------------------------------------------
+    # Work primitives used by the algorithms
+    # ------------------------------------------------------------------
+    def start_best_transaction(self) -> str:
+        """Run the preempted transaction or the densest feasible ready one."""
+        now = self.engine.now
+        if self._resume_txn is not None:
+            txn = self._resume_txn
+            self._resume_txn = None
+            if self.system.feasible_deadline and not txn.is_feasible(now):
+                self._finish_missed(txn, infeasible=True)
+                return AGAIN
+            return self._start_transaction_burst(txn)
+        while self.ready:
+            txn = max(self.ready, key=lambda t: (t.value_density(), -t.spec.seq))
+            self.ready.remove(txn)
+            if self.system.feasible_deadline and not txn.is_feasible(now):
+                self._finish_missed(txn, infeasible=True)
+                continue
+            return self._start_transaction_burst(txn)
+        return IDLE
+
+    def has_runnable_transaction(self) -> bool:
+        """Any transaction waiting for the CPU (ignoring feasibility)?"""
+        return self._resume_txn is not None or bool(self.ready)
+
+    def drain_os_to_direct(self) -> str:
+        """Receive all OS-queued updates for direct installation (UF path)."""
+        updates = self.os_queue.receive_all()
+        if not updates:
+            return IDLE
+        self.update_accounting.note_received(len(updates))
+        self.direct_installs.extend(updates)
+        return AGAIN
+
+    def drain_os_split(self) -> str:
+        """Receive all OS-queued updates, split by importance (SU path).
+
+        High-importance updates go to the direct-install list; low-importance
+        updates are enqueued (paying the queue-insert cost).
+        """
+        updates = self.os_queue.receive_all()
+        if not updates:
+            return IDLE
+        self.update_accounting.note_received(len(updates))
+        lows = []
+        for update in updates:
+            if self.algorithm.is_high_importance(update):
+                self.direct_installs.append(update)
+            else:
+                lows.append(update)
+        if not lows:
+            return AGAIN
+        return self._enqueue_batch(lows)
+
+    def drain_os_to_queue(self) -> str:
+        """Receive all OS-queued updates into the update queue (TF/OD path)."""
+        updates = self.os_queue.receive_all()
+        if not updates:
+            return IDLE
+        self.update_accounting.note_received(len(updates))
+        return self._enqueue_batch(updates)
+
+    def _enqueue_batch(self, updates: list[Update]) -> str:
+        cost = self._enqueue_cost_seconds(len(updates))
+        if cost > 0:
+            self._receiving = updates
+            self._start_burst(
+                cost,
+                CpuAccounting.UPDATE,
+                lambda: self._finish_enqueue(updates),
+                owner="update-process",
+            )
+            return BUSY
+        self._finish_enqueue(updates, then_dispatch=False)
+        return AGAIN
+
+    def _enqueue_cost_seconds(self, count: int) -> float:
+        """Total x_queue * ln(n) cost of inserting ``count`` updates."""
+        x_queue = self.system.x_queue
+        if x_queue == 0 or count == 0:
+            return 0.0
+        size = len(self.update_queue)
+        instructions = 0.0
+        for i in range(count):
+            n = size + i + 1
+            instructions += x_queue * math.log(max(n, 2))
+        return self._seconds(instructions)
+
+    def _finish_enqueue(self, updates: list[Update], then_dispatch: bool = True) -> None:
+        now = self.engine.now
+        self._receiving = None
+        for update in updates:
+            self.update_queue.push(update, now)
+            self.update_accounting.note_enqueued()
+        self.update_accounting.sample_queue_length(len(self.update_queue))
+        if then_dispatch:
+            self.dispatch()
+
+    def start_direct_install(self) -> str:
+        """Install the next directly-received update (UF / SU-high path)."""
+        if not self.direct_installs:
+            return IDLE
+        update = self.direct_installs.popleft()
+        return self._start_install_burst(update)
+
+    def start_install_from_queue(self) -> str:
+        """Pop per the service discipline and install (TF/OD/SU-low path)."""
+        # Expired updates are discarded at every scheduling point (paper
+        # section 4.2); re-check here because a receive earlier in the same
+        # scheduling pass may have enqueued already-expired updates.
+        self._expire_updates()
+        update = self.update_queue.pop_next(self._lifo, self.engine.now)
+        if update is None:
+            return IDLE
+        # Popping also pays the queue-removal cost x_queue * ln(n).
+        extra = 0.0
+        if self.system.x_queue:
+            n = max(len(self.update_queue) + 1, 2)
+            extra = self._seconds(self.system.x_queue * math.log(n))
+        return self._start_install_burst(update, extra_seconds=extra)
+
+    def _start_install_burst(self, update: Update, extra_seconds: float = 0.0) -> str:
+        cost = self.system.x_lookup
+        if self.database.would_apply(update):
+            cost += self.system.x_update
+            if self.database.has_transformer(update.klass):
+                cost += self.system.x_transform
+        self._installing = update
+        self._start_burst(
+            self._seconds(cost) + extra_seconds,
+            CpuAccounting.UPDATE,
+            lambda: self._finish_install(update),
+            owner="update-process",
+        )
+        return BUSY
+
+    def _finish_install(self, update: Update) -> None:
+        self._installing = None
+        applied = self.database.install(update, self.engine.now)
+        self.update_accounting.note_installed(applied)
+        self.dispatch()
+
+    def unsettled_updates(self) -> int:
+        """Updates held by an in-progress burst (for conservation checks)."""
+        count = 1 if self._installing is not None else 0
+        if self._receiving is not None:
+            count += len(self._receiving)
+        return count
+
+    def live_transaction_count(self) -> int:
+        """Transactions currently in the system (ready, preempted, running)."""
+        count = len(self.ready)
+        if self._resume_txn is not None:
+            count += 1
+        if self._busy is not None and self._busy.txn is not None:
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+    def _start_transaction_burst(self, txn: LiveTransaction) -> str:
+        txn.state = TransactionState.RUNNING
+        if txn.start_time is None:
+            txn.start_time = self.engine.now
+        seconds = txn.next_burst_seconds()
+        self._start_burst(
+            seconds,
+            CpuAccounting.TRANSACTION,
+            lambda: self._transaction_step_done(txn),
+            owner=("txn", txn.spec.seq),
+            txn=txn,
+            preemptible=True,
+        )
+        return BUSY
+
+    def _transaction_step_done(self, txn: LiveTransaction) -> None:
+        kind, object_id = txn.complete_step()
+        if kind == STEP_READ:
+            self._after_view_read(txn, object_id)
+            return
+        self._continue_transaction(txn)
+
+    def _continue_transaction(self, txn: LiveTransaction) -> None:
+        if txn.done:
+            self._commit(txn)
+            self.dispatch()
+            return
+        # Transactions are non-preemptive among themselves: the running
+        # transaction keeps the CPU for its next step without re-dispatch.
+        self._start_transaction_burst(txn)
+
+    # -- view reads and staleness ------------------------------------------
+    def _after_view_read(self, txn: LiveTransaction, object_id: int) -> None:
+        obj = self.database.view_object(txn.spec.view_class, object_id)
+        if self.algorithm.on_demand:
+            self._on_demand_read(txn, obj)
+            return
+        if (
+            self._stale_action is not StaleReadAction.IGNORE
+            and self.checker.requires_queue_check
+        ):
+            # Run-time detection under UU requires scanning the queue.
+            scan = self._seconds(self.system.x_scan * len(self.update_queue))
+            if scan > 0:
+                self._start_burst(
+                    scan,
+                    CpuAccounting.UPDATE,
+                    lambda: self._resolve_read(
+                        txn, obj, self.checker.is_stale(obj, self.engine.now)
+                    ),
+                    owner=("txn", txn.spec.seq),
+                    txn=txn,
+                )
+                return
+        self._resolve_read(txn, obj, self.checker.is_stale(obj, self.engine.now))
+
+    def _on_demand_read(self, txn: LiveTransaction, obj: DataObject) -> None:
+        if not self.checker.requires_queue_check:
+            # MA: the timestamp answers the staleness question for free.
+            if not self.checker.is_stale(obj, self.engine.now):
+                self._resolve_read(txn, obj, False)
+                return
+        # Either the read found stale data (MA) or the scan *is* the
+        # staleness check (UU): pay x_scan per queued update.
+        scan = self._seconds(self.system.x_scan * len(self.update_queue))
+        if scan > 0:
+            self._start_burst(
+                scan,
+                CpuAccounting.UPDATE,
+                lambda: self._on_demand_after_scan(txn, obj),
+                owner=("txn", txn.spec.seq),
+                txn=txn,
+            )
+            return
+        self._on_demand_after_scan(txn, obj)
+
+    def _on_demand_after_scan(self, txn: LiveTransaction, obj: DataObject) -> None:
+        now = self.engine.now
+        candidate = self.update_queue.newest_for(obj.key)
+        if candidate is not None and self.checker.freshens(candidate, obj, now):
+            apply_cost = self.system.x_update
+            if self.database.has_transformer(candidate.klass):
+                apply_cost += self.system.x_transform
+            apply_seconds = self._seconds(apply_cost)
+            self._start_burst(
+                apply_seconds,
+                CpuAccounting.UPDATE,
+                lambda: self._on_demand_apply(txn, obj, candidate),
+                owner=("txn", txn.spec.seq),
+                txn=txn,
+            )
+            return
+        self.update_accounting.note_on_demand(applied=False)
+        self._resolve_read(txn, obj, self.checker.is_stale(obj, now))
+
+    def _on_demand_apply(
+        self, txn: LiveTransaction, obj: DataObject, update: Update
+    ) -> None:
+        now = self.engine.now
+        self.update_queue.remove(update, now)
+        applied = self.database.install(update, now)
+        self.update_accounting.note_installed(applied)
+        self.update_accounting.note_on_demand(applied=True)
+        self._resolve_read(txn, obj, self.checker.is_stale(obj, now))
+
+    def _resolve_read(self, txn: LiveTransaction, obj: DataObject, stale: bool) -> None:
+        self.transaction_log.note_view_read(stale)
+        if stale:
+            txn.read_stale = True
+            if self._stale_action is StaleReadAction.ABORT:
+                self._abort_stale(txn)
+                self.dispatch()
+                return
+            if self._stale_action is StaleReadAction.WARN:
+                txn.warned = True
+        self._continue_transaction(txn)
+
+    # -- transaction outcomes -----------------------------------------------
+    def _commit(self, txn: LiveTransaction) -> None:
+        txn.cancel_deadline()
+        txn.state = TransactionState.COMMITTED
+        txn.finish_time = self.engine.now
+        self.transaction_log.note_commit(
+            txn.spec.value, txn.read_stale, txn.warned, txn.spec.high_value
+        )
+
+    def _abort_stale(self, txn: LiveTransaction) -> None:
+        txn.cancel_deadline()
+        txn.state = TransactionState.ABORTED_STALE
+        txn.finish_time = self.engine.now
+        self.transaction_log.note_stale_abort()
+
+    def _finish_missed(self, txn: LiveTransaction, infeasible: bool) -> None:
+        txn.cancel_deadline()
+        txn.state = TransactionState.MISSED
+        txn.finish_time = self.engine.now
+        self.transaction_log.note_missed_deadline(infeasible)
+
+    def _deadline_fired(self, txn: LiveTransaction) -> None:
+        txn.deadline_event = None
+        if txn.state.finished:
+            return
+        if self._busy is not None and self._busy.txn is txn:
+            self._cancel_busy_burst()
+        if txn is self._resume_txn:
+            self._resume_txn = None
+        elif txn in self.ready:
+            self.ready.remove(txn)
+        self._finish_missed(txn, infeasible=False)
+        if self._busy is None:
+            self.dispatch()
+
+    # ------------------------------------------------------------------
+    # Burst mechanics
+    # ------------------------------------------------------------------
+    def _start_burst(
+        self,
+        seconds: float,
+        category: str,
+        on_done: Callable[[], None],
+        owner: object,
+        txn: LiveTransaction | None = None,
+        preemptible: bool = False,
+    ) -> None:
+        if self._busy is not None:
+            raise RuntimeError("CPU is already busy")
+        switch_seconds = 0.0
+        if owner != self._last_owner:
+            switches = 1 + self._extra_switches
+            switch_seconds = self._seconds(self.system.x_switch) * switches
+            self.cpu.note_context_switch()
+            self._last_owner = owner
+        self._extra_switches = 0
+        total = seconds + switch_seconds
+        event = self.engine.schedule(total, self._burst_done)
+        self._busy = _Burst(
+            category, total, self.engine.now, event, on_done, txn,
+            preemptible, switch_seconds,
+        )
+
+    def _burst_done(self) -> None:
+        burst = self._busy
+        if burst is None:  # pragma: no cover - engine/controller invariant
+            raise RuntimeError("burst completion with no busy burst")
+        self._busy = None
+        self.cpu.charge(burst.category, burst.seconds)
+        burst.on_done()
+
+    def _cancel_busy_burst(self) -> None:
+        """Stop the in-progress burst, charging the elapsed portion."""
+        burst = self._busy
+        if burst is None:
+            return
+        burst.event.cancel()
+        elapsed = self.engine.now - burst.start
+        self.cpu.charge(burst.category, elapsed)
+        self._busy = None
+
+    def preempt_running_transaction(self) -> None:
+        """Suspend the running transaction for a priority update (UF/SU).
+
+        The preempted transaction resumes after the update work drains.  The
+        receive-with-preemption overhead is ``2 * x_switch`` (paper section
+        3.3): one switch is added here, the other is the ordinary start-up
+        switch of the update burst that follows.
+        """
+        burst = self._busy
+        if burst is None or not burst.preemptible or burst.txn is None:
+            raise RuntimeError("no preemptible transaction burst in progress")
+        self._preempt_transaction(to_ready=False)
+        self._extra_switches = 1
+        self.cpu.note_preemption()
+
+    def _preempt_transaction(self, to_ready: bool) -> None:
+        burst = self._busy
+        burst.event.cancel()
+        elapsed = self.engine.now - burst.start
+        self.cpu.charge(burst.category, elapsed)
+        txn = burst.txn
+        work_elapsed = max(0.0, elapsed - burst.switch_seconds)
+        txn.note_burst_progress(work_elapsed)
+        self._busy = None
+        if to_ready:
+            txn.state = TransactionState.READY
+            self.ready.append(txn)
+            self.cpu.note_preemption()
+        else:
+            txn.state = TransactionState.PREEMPTED
+            self._resume_txn = txn
+
+    def note_measurement_start(self, now: float) -> None:
+        """Split the in-flight burst at the warmup boundary.
+
+        The CPU ledger is reset at ``now``; the part of the current burst
+        that already ran must not be charged into the measurement window.
+        """
+        burst = self._busy
+        if burst is not None:
+            elapsed = now - burst.start
+            burst.seconds = max(0.0, burst.seconds - elapsed)
+            burst.start = now
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Charge the partially-elapsed busy burst at the end of the run."""
+        burst = self._busy
+        if burst is not None:
+            elapsed = now - burst.start
+            if elapsed > 0:
+                self.cpu.charge(burst.category, min(elapsed, burst.seconds))

@@ -1,0 +1,174 @@
+"""Live transaction state (paper section 3.4).
+
+A transaction executes the paper's three-step pattern:
+
+1. ``p_view`` of the computation,
+2. the view reads (one index probe each, with a staleness check after
+   every probe), and
+3. the remaining computation.
+
+:class:`LiveTransaction` tracks the step plan, the progress of a possibly
+preempted burst, and the bookkeeping for firm deadlines and value-density
+scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import SystemParams, TransactionParams
+from repro.sim.events import Event
+from repro.workload.transactions import TransactionSpec
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction inside the controller."""
+
+    READY = "ready"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    COMMITTED = "committed"
+    MISSED = "missed"
+    ABORTED_STALE = "aborted-stale"
+
+    @property
+    def finished(self) -> bool:
+        return self in (
+            TransactionState.COMMITTED,
+            TransactionState.MISSED,
+            TransactionState.ABORTED_STALE,
+        )
+
+
+# Step kinds in a transaction's execution plan.
+STEP_COMPUTE = "compute"
+STEP_READ = "read"
+
+
+class LiveTransaction:
+    """Runtime state of one transaction.
+
+    Attributes:
+        spec: The immutable workload description.
+        deadline: Firm deadline (arrival + perfect estimate + slack).
+        state: Current lifecycle state.
+        base_remaining: Seconds of *planned* work left (computation plus
+            index probes); this is the "remaining processing time" used for
+            value density and feasibility and excludes On-Demand extras.
+        read_stale: True once any view read returned stale data.
+        warned: True when the WARN stale-read action has fired.
+        deadline_event: The engine event that aborts the transaction at its
+            deadline (cancelled on commit/abort).
+    """
+
+    __slots__ = (
+        "spec",
+        "deadline",
+        "state",
+        "base_remaining",
+        "read_stale",
+        "warned",
+        "deadline_event",
+        "_plan",
+        "_step_index",
+        "_burst_remaining",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        spec: TransactionSpec,
+        txn_params: TransactionParams,
+        system: SystemParams,
+    ) -> None:
+        self.spec = spec
+        self.deadline = spec.deadline(system.x_lookup, system.ips)
+        self.state = TransactionState.READY
+        self.read_stale = False
+        self.warned = False
+        self.deadline_event: Event | None = None
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+
+        lookup_seconds = system.seconds(system.x_lookup)
+        plan: list[tuple[str, float, int]] = []
+        head_compute = spec.compute_time * txn_params.p_view
+        tail_compute = spec.compute_time - head_compute
+        if head_compute > 0:
+            plan.append((STEP_COMPUTE, head_compute, -1))
+        for object_id in spec.reads:
+            plan.append((STEP_READ, lookup_seconds, object_id))
+        if tail_compute > 0 or not plan:
+            plan.append((STEP_COMPUTE, tail_compute, -1))
+        self._plan = plan
+        self._step_index = 0
+        self._burst_remaining: float | None = None
+        self.base_remaining = spec.compute_time + len(spec.reads) * lookup_seconds
+
+    # ------------------------------------------------------------------
+    # Plan navigation
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once every planned step has completed."""
+        return self._step_index >= len(self._plan)
+
+    def current_step(self) -> tuple[str, float, int]:
+        """The (kind, full_duration, object_id) triple of the current step."""
+        return self._plan[self._step_index]
+
+    def next_burst_seconds(self) -> float:
+        """Seconds the next CPU burst needs (resuming a preempted one)."""
+        if self._burst_remaining is not None:
+            return self._burst_remaining
+        return self._plan[self._step_index][1]
+
+    def note_burst_progress(self, elapsed: float) -> None:
+        """Record a partial burst (preemption) without advancing the step."""
+        remaining = self.next_burst_seconds() - elapsed
+        if remaining < 0:
+            remaining = 0.0
+        self._burst_remaining = remaining
+        self.base_remaining -= elapsed
+        if self.base_remaining < 0:
+            self.base_remaining = 0.0
+
+    def complete_step(self) -> tuple[str, int]:
+        """Finish the current step; returns its (kind, object_id)."""
+        kind, _, object_id = self._plan[self._step_index]
+        spent = self.next_burst_seconds()
+        self.base_remaining -= spent
+        if self.base_remaining < 0:
+            self.base_remaining = 0.0
+        self._burst_remaining = None
+        self._step_index += 1
+        return kind, object_id
+
+    # ------------------------------------------------------------------
+    # Scheduling arithmetic
+    # ------------------------------------------------------------------
+    def value_density(self) -> float:
+        """Value per second of remaining planned work (paper section 3.4)."""
+        remaining = self.base_remaining
+        if remaining <= 0:
+            # A finished-or-nearly-finished transaction is infinitely dense;
+            # use a large constant so ordering stays total and finite.
+            return self.spec.value * 1e12
+        return self.spec.value / remaining
+
+    def is_feasible(self, now: float, tolerance: float = 1e-9) -> bool:
+        """Can the remaining planned work still meet the deadline?"""
+        return now + self.base_remaining <= self.deadline + tolerance
+
+    def cancel_deadline(self) -> None:
+        """Cancel the pending deadline event, if any."""
+        if self.deadline_event is not None:
+            self.deadline_event.cancel()
+            self.deadline_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LiveTransaction #{self.spec.seq} {self.state.value} "
+            f"deadline={self.deadline:.3f} remaining={self.base_remaining:.4f}>"
+        )

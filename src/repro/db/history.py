@@ -1,0 +1,104 @@
+"""Historical views (paper section 7 future work).
+
+The paper studies only *snapshot* views — installing an update loses the
+previous value forever.  Section 2 defines the alternative and section 7
+lists it as future work: a *historical* view keeps past values so
+transactions can ask "what was the DM/Y rate as of 10 seconds ago?".
+
+:class:`HistoryStore` implements that extension as a bounded per-object
+ring buffer of applied versions with as-of lookups.  It is wired into
+:class:`~repro.db.database.Database` when ``SystemParams.history_depth``
+is positive and costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Iterator
+
+from repro.db.update_queue import ObjectKey
+
+
+class Version:
+    """One historical value of a view object."""
+
+    __slots__ = ("value", "generation_time", "install_time")
+
+    def __init__(self, value: float, generation_time: float, install_time: float) -> None:
+        self.value = value
+        self.generation_time = generation_time
+        self.install_time = install_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Version gen={self.generation_time:.3f} value={self.value}>"
+
+
+class HistoryStore:
+    """Bounded version history for every view object.
+
+    Versions are appended in installation order; because the database's
+    worthiness check guarantees strictly increasing generation timestamps
+    per object, each object's history is sorted by generation time and
+    as-of lookups can bisect.
+
+    Attributes:
+        depth: Maximum versions retained per object (oldest evicted first).
+        recorded: Total versions ever recorded.
+        evicted: Versions dropped because a ring buffer was full.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"history depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._versions: dict[ObjectKey, deque[Version]] = {}
+        self.recorded = 0
+        self.evicted = 0
+
+    def record(
+        self,
+        key: ObjectKey,
+        value: float,
+        generation_time: float,
+        install_time: float,
+    ) -> None:
+        """Append a newly installed version for ``key``."""
+        bucket = self._versions.get(key)
+        if bucket is None:
+            bucket = deque(maxlen=self.depth)
+            self._versions[key] = bucket
+        if len(bucket) == self.depth:
+            self.evicted += 1
+        bucket.append(Version(value, generation_time, install_time))
+        self.recorded += 1
+
+    def versions(self, key: ObjectKey) -> tuple[Version, ...]:
+        """All retained versions of ``key``, oldest first."""
+        return tuple(self._versions.get(key, ()))
+
+    def version_count(self, key: ObjectKey) -> int:
+        return len(self._versions.get(key, ()))
+
+    def value_as_of(self, key: ObjectKey, timestamp: float) -> Version | None:
+        """The version current at ``timestamp`` by generation time.
+
+        Returns the newest retained version generated at or before
+        ``timestamp``, or None when the object has no retained version that
+        old (either never updated or already evicted).
+        """
+        bucket = self._versions.get(key)
+        if not bucket:
+            return None
+        generations = [version.generation_time for version in bucket]
+        index = bisect.bisect_right(generations, timestamp)
+        if index == 0:
+            return None
+        return bucket[index - 1]
+
+    def objects_tracked(self) -> int:
+        """Number of objects with at least one retained version."""
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[ObjectKey]:
+        return iter(self._versions)

@@ -1,0 +1,143 @@
+"""Staleness definitions (paper section 2).
+
+A staleness checker answers two questions the scheduler needs:
+
+* ``is_stale(obj, now)`` — is this view object's current value stale?
+* ``freshens(update, obj, now)`` — would applying this queued update make
+  the object fresh (used by the On-Demand algorithm to decide whether a
+  queue hit is worth applying)?
+
+Four definitions are provided:
+
+* :class:`MaxAgeStaleness` — the paper's MA: stale when the *generation*
+  timestamp is older than ``max_age``.
+* :class:`MaxAgeArrivalStaleness` — the MA variant the paper sketches where
+  the RTDB *arrival* timestamp replaces the generation timestamp.
+* :class:`UnappliedUpdateStaleness` — the paper's UU: stale while a newer
+  update sits in the update queue.
+* :class:`CombinedStaleness` — stale under either MA or UU (also sketched
+  in section 2).
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig, StalenessPolicy
+from repro.db.objects import DataObject, Update
+from repro.db.update_queue import UpdateQueue
+
+
+class StalenessChecker:
+    """Interface shared by the staleness definitions."""
+
+    #: True when the definition needs the update queue to answer
+    #: ``is_stale`` (the UU family); the On-Demand algorithm must then scan
+    #: the queue on *every* read (paper section 6.3).
+    requires_queue_check = False
+
+    def is_stale(self, obj: DataObject, now: float) -> bool:
+        raise NotImplementedError
+
+    def freshens(self, update: Update, obj: DataObject, now: float) -> bool:
+        """Would installing ``update`` make ``obj`` fresh at ``now``?"""
+        raise NotImplementedError
+
+
+class MaxAgeStaleness(StalenessChecker):
+    """MA — stale when ``now - generation_time > max_age``."""
+
+    def __init__(self, max_age: float) -> None:
+        if max_age <= 0:
+            raise ValueError(f"max_age must be > 0, got {max_age}")
+        self.max_age = max_age
+
+    def is_stale(self, obj: DataObject, now: float) -> bool:
+        return now - obj.generation_time > self.max_age
+
+    def freshens(self, update: Update, obj: DataObject, now: float) -> bool:
+        if update.generation_time <= obj.generation_time:
+            return False  # not newer than what the database already holds
+        return now - update.generation_time <= self.max_age
+
+
+class MaxAgeArrivalStaleness(StalenessChecker):
+    """MA variant — stale when the current value *arrived* too long ago.
+
+    Under this definition an update always resets the clock on arrival, so
+    any queued update freshens the object provided it is newer than the
+    installed value.
+    """
+
+    def __init__(self, max_age: float) -> None:
+        if max_age <= 0:
+            raise ValueError(f"max_age must be > 0, got {max_age}")
+        self.max_age = max_age
+
+    def is_stale(self, obj: DataObject, now: float) -> bool:
+        return now - obj.arrival_time > self.max_age
+
+    def freshens(self, update: Update, obj: DataObject, now: float) -> bool:
+        if update.generation_time <= obj.generation_time:
+            return False
+        return now - update.arrival_time <= self.max_age
+
+
+class UnappliedUpdateStaleness(StalenessChecker):
+    """UU — stale while the update queue holds a newer value for the object.
+
+    "Newer" means a queued generation timestamp strictly greater than the
+    installed one: an out-of-order straggler that the worthiness check would
+    skip does not make the database value obsolete.
+    """
+
+    requires_queue_check = True
+
+    def __init__(self, queue: UpdateQueue) -> None:
+        self.queue = queue
+
+    def is_stale(self, obj: DataObject, now: float) -> bool:
+        newest = self.queue.newest_generation_for(obj.key)
+        return newest is not None and newest > obj.generation_time
+
+    def freshens(self, update: Update, obj: DataObject, now: float) -> bool:
+        if update.generation_time <= obj.generation_time:
+            return False
+        # Applying anything but the newest queued update leaves the object
+        # stale (a newer value would still be pending).
+        newest = self.queue.newest_generation_for(obj.key)
+        return newest is None or update.generation_time >= newest
+
+
+class CombinedStaleness(StalenessChecker):
+    """Stale under either the MA or the UU definition."""
+
+    requires_queue_check = True
+
+    def __init__(self, max_age: float, queue: UpdateQueue) -> None:
+        self.by_age = MaxAgeStaleness(max_age)
+        self.by_queue = UnappliedUpdateStaleness(queue)
+
+    def is_stale(self, obj: DataObject, now: float) -> bool:
+        return self.by_age.is_stale(obj, now) or self.by_queue.is_stale(obj, now)
+
+    def freshens(self, update: Update, obj: DataObject, now: float) -> bool:
+        return self.by_age.freshens(update, obj, now) and self.by_queue.freshens(
+            update, obj, now
+        )
+
+
+def make_staleness_checker(
+    config: SimulationConfig,
+    queue: UpdateQueue,
+) -> StalenessChecker:
+    """Build the checker the configuration asks for."""
+    policy = config.staleness
+    max_age = config.transactions.max_age
+    if policy is StalenessPolicy.MAX_AGE:
+        return MaxAgeStaleness(max_age)
+    if policy is StalenessPolicy.MAX_AGE_ARRIVAL:
+        return MaxAgeArrivalStaleness(max_age)
+    if policy is StalenessPolicy.UNAPPLIED_UPDATE:
+        return UnappliedUpdateStaleness(queue)
+    if policy is StalenessPolicy.COMBINED:
+        return CombinedStaleness(max_age, queue)
+    raise ValueError(f"unknown staleness policy: {policy!r}")

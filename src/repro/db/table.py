@@ -1,0 +1,212 @@
+"""A small schema'd main-memory table with hash indexes.
+
+The paper's STRIP system provides "traditional database services" for
+*general* data — derived values such as composite indices and position
+tables that transactions read and write.  The simulation folds the CPU
+cost of general-data access into transaction compute time (section 5.2),
+but the examples still need a functionally real store, so this module
+provides one: typed columns, a primary-key hash index, optional secondary
+hash indexes, and predicate scans.
+
+It is deliberately minimal — no persistence, no concurrency control
+(the paper argues main-memory RTDBs run essentially one transaction at a
+time, section 5.2) — but it is exact about schema validation and index
+maintenance, and the test suite holds it to that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+
+class SchemaError(ValueError):
+    """Raised for rows that do not match the table schema."""
+
+
+class Row:
+    """An immutable stored row; column access by name."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: dict[str, Any]) -> None:
+        self._values = values
+
+    def __getitem__(self, column: str) -> Any:
+        try:
+            return self._values[column]
+        except KeyError:
+            raise KeyError(f"no column {column!r}") from None
+
+    def as_dict(self) -> dict[str, Any]:
+        """A copy of the row's values."""
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Row) and self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Row({self._values!r})"
+
+
+class Table:
+    """A main-memory table with a primary key and hash secondary indexes.
+
+    Args:
+        name: Table name (reports and error messages).
+        columns: Ordered column names.
+        key: The primary-key column (must be one of ``columns``).
+
+    Example:
+        >>> holdings = Table("holdings", ("symbol", "shares", "desk"), key="symbol")
+        >>> holdings.upsert({"symbol": "HP", "shares": 100, "desk": "arb"})
+        >>> holdings.get("HP")["shares"]
+        100
+    """
+
+    def __init__(self, name: str, columns: Iterable[str], key: str) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate columns in {name}: {self.columns}")
+        if not self.columns:
+            raise SchemaError(f"table {name} needs at least one column")
+        if key not in self.columns:
+            raise SchemaError(f"key {key!r} is not a column of {name}")
+        self.key = key
+        self._rows: dict[Any, Row] = {}
+        self._secondary: dict[str, dict[Any, set[Any]]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a secondary hash index on ``column``."""
+        if column not in self.columns:
+            raise SchemaError(f"cannot index unknown column {column!r}")
+        if column == self.key:
+            raise SchemaError("the primary key is always indexed")
+        index: dict[Any, set[Any]] = {}
+        for key_value, row in self._rows.items():
+            index.setdefault(row[column], set()).add(key_value)
+        self._secondary[column] = index
+
+    def indexed_columns(self) -> tuple[str, ...]:
+        return tuple(self._secondary)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def upsert(self, values: Mapping[str, Any]) -> None:
+        """Insert a row, or replace the row with the same primary key."""
+        self._check_schema(values)
+        row = Row(dict(values))
+        key_value = row[self.key]
+        old = self._rows.get(key_value)
+        if old is not None:
+            self._unindex(key_value, old)
+        self._rows[key_value] = row
+        for column, index in self._secondary.items():
+            index.setdefault(row[column], set()).add(key_value)
+        self.writes += 1
+
+    def delete(self, key_value: Any) -> bool:
+        """Delete by primary key; returns True if a row was removed."""
+        row = self._rows.pop(key_value, None)
+        if row is None:
+            return False
+        self._unindex(key_value, row)
+        self.writes += 1
+        return True
+
+    def update_where(
+        self,
+        predicate: Callable[[Row], bool],
+        changes: Mapping[str, Any],
+    ) -> int:
+        """Apply column changes to every row matching ``predicate``."""
+        bad = set(changes) - set(self.columns)
+        if bad:
+            raise SchemaError(f"unknown columns in update: {sorted(bad)}")
+        if self.key in changes:
+            raise SchemaError("cannot change the primary key in update_where")
+        touched = 0
+        for key_value, row in list(self._rows.items()):
+            if predicate(row):
+                merged = row.as_dict()
+                merged.update(changes)
+                self.upsert(merged)
+                touched += 1
+        return touched
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def get(self, key_value: Any) -> Row | None:
+        """Primary-key point lookup."""
+        self.reads += 1
+        return self._rows.get(key_value)
+
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """Equality lookup; uses a secondary index when one exists."""
+        self.reads += 1
+        if column == self.key:
+            row = self._rows.get(value)
+            return [row] if row is not None else []
+        index = self._secondary.get(column)
+        if index is not None:
+            return [self._rows[key] for key in sorted(index.get(value, ()), key=repr)]
+        if column not in self.columns:
+            raise SchemaError(f"unknown column {column!r}")
+        return [row for row in self._rows.values() if row[column] == value]
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
+        """Full scan, optionally filtered."""
+        self.reads += 1
+        for row in self._rows.values():
+            if predicate is None or predicate(row):
+                yield row
+
+    def aggregate(
+        self,
+        column: str,
+        fold: Callable[[float, float], float],
+        initial: float = 0.0,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> float:
+        """Fold a numeric column over (optionally filtered) rows."""
+        if column not in self.columns:
+            raise SchemaError(f"unknown column {column!r}")
+        value = initial
+        for row in self.scan(predicate):
+            value = fold(value, row[column])
+        return value
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key_value: Any) -> bool:
+        return key_value in self._rows
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_schema(self, values: Mapping[str, Any]) -> None:
+        provided = set(values)
+        expected = set(self.columns)
+        if provided != expected:
+            missing = sorted(expected - provided)
+            extra = sorted(provided - expected)
+            raise SchemaError(
+                f"row does not match schema of {self.name}: "
+                f"missing={missing} extra={extra}"
+            )
+
+    def _unindex(self, key_value: Any, row: Row) -> None:
+        for column, index in self._secondary.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(key_value)
+                if not bucket:
+                    del index[row[column]]

@@ -1,0 +1,69 @@
+"""View complexity: transforming updates before installation (paper §2).
+
+"In other cases, the update values must be transformed or combined with
+other values before being stored.  For example, company names may have to
+be changed to match local conventions, and running averages may have to
+be computed.  Hence, the cost of installing a single update can vary..."
+
+A *transformer* is a callable ``(previous_value, update_value) -> stored``
+registered per view partition on the :class:`~repro.db.database.Database`.
+Its CPU cost is modeled by ``SystemParams.x_transform`` instructions added
+to every applied install in a transformed partition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Transformer = Callable[[float, float], float]
+
+
+def identity() -> Transformer:
+    """Store the update value as-is (the paper's simple case)."""
+
+    def transform(previous: float, update: float) -> float:
+        return update
+
+    return transform
+
+
+def scale(factor: float) -> Transformer:
+    """Store ``factor * update`` — unit or currency conversion."""
+
+    def transform(previous: float, update: float) -> float:
+        return factor * update
+
+    return transform
+
+
+def exponential_average(alpha: float) -> Transformer:
+    """Exponentially weighted running average of the stream.
+
+    ``stored = alpha * update + (1 - alpha) * previous`` — the paper's
+    "running averages may have to be computed" example.
+
+    Args:
+        alpha: Weight of the newest value, in (0, 1].
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+
+    def transform(previous: float, update: float) -> float:
+        return alpha * update + (1.0 - alpha) * previous
+
+    return transform
+
+
+def clamp(low: float, high: float) -> Transformer:
+    """Clamp updates into a sanity range — sensor deglitching."""
+    if high < low:
+        raise ValueError(f"clamp range inverted: [{low}, {high}]")
+
+    def transform(previous: float, update: float) -> float:
+        if update < low:
+            return low
+        if update > high:
+            return high
+        return update
+
+    return transform

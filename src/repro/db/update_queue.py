@@ -1,0 +1,377 @@
+"""The application-level update queue (paper sections 3.3 and 4.2).
+
+The controller buffers received-but-not-yet-installed updates here.  The
+queue is maintained in order of update *generation* time (not arrival), which
+lets the system:
+
+* install updates in generation order even when the network reorders them,
+* discard expired updates (older than the MA maximum age) in constant time
+  from the front, and
+* serve either FIFO (oldest generation first) or LIFO (newest first).
+
+The queue is bounded by ``UQmax``; when full, the oldest update is discarded
+to admit a new one.
+
+Two structural extensions from the paper's future-work list are provided:
+
+* ``indexed=True`` builds a hash index keyed by target object and keeps only
+  the newest update per object (valid for complete updates to snapshot
+  views, where all but the newest update are worthless) — this bounds the
+  queue naturally and makes per-object lookups O(1).
+* an ``observer`` callback fires whenever the set of queued updates for an
+  object changes, which the freshness ledger uses to maintain exact
+  Unapplied-Update staleness intervals.
+
+Internally the queue is a generation-sorted array with lazy deletion
+(tombstones) plus a per-object dictionary, so pushes are ``O(log n)`` search
++ ``O(n)`` memmove (C speed), end pops are amortized ``O(1)``, and arbitrary
+removals are ``O(1)`` flag writes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator
+
+from repro.db.objects import ObjectClass, Update
+
+ObjectKey = tuple[ObjectClass, int]
+QueueObserver = Callable[[ObjectKey, float], None]
+
+
+class UpdateQueue:
+    """Bounded, generation-ordered queue of unapplied updates.
+
+    Attributes:
+        capacity: Maximum number of live queued updates (``UQmax``).
+        indexed: Whether the newest-per-object hash index is active.
+        total_pushed: Updates accepted into the queue.
+        overflow_discards: Updates discarded to make room (oldest-first).
+        expired_discards: Updates discarded because they exceeded max age.
+        superseded_discards: Updates discarded by the index because a newer
+            update for the same object was already queued or arrived.
+    """
+
+    # Compact the tombstone-laden arrays when dead entries outnumber live
+    # ones and the queue is big enough for the rebuild to pay off.
+    _COMPACT_THRESHOLD = 64
+
+    def __init__(
+        self,
+        capacity: int,
+        indexed: bool = False,
+        observer: QueueObserver | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"update queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.indexed = indexed
+        self.observer = observer
+        self._keys: list[tuple[float, int]] = []
+        self._items: list[Update] = []
+        # Index of the first physically present entry; front pops advance
+        # this pointer instead of shifting the arrays, and the consumed
+        # prefix is trimmed in bulk once it grows large.
+        self._head = 0
+        self._by_object: dict[ObjectKey, list[Update]] = {}
+        self._live = 0
+        self.total_pushed = 0
+        self.overflow_discards = 0
+        self.expired_discards = 0
+        self.superseded_discards = 0
+
+    def reset_counters(self) -> None:
+        """Zero the discard counters (warmup boundary); content stays."""
+        self.total_pushed = 0
+        self.overflow_discards = 0
+        self.expired_discards = 0
+        self.superseded_discards = 0
+
+    # ------------------------------------------------------------------
+    # Core mutations
+    # ------------------------------------------------------------------
+    def push(self, update: Update, now: float) -> list[Update]:
+        """Enqueue an update, evicting as needed.
+
+        Returns:
+            Updates discarded to admit this one (overflow victims and, in
+            indexed mode, superseded duplicates).  The incoming update itself
+            appears in the list when the index proves it already worthless.
+        """
+        discarded: list[Update] = []
+        key = update.key
+        if self.indexed:
+            newest = self.newest_for(key)
+            if newest is not None and newest.generation_time >= update.generation_time:
+                # A strictly fresher (or equal) update is already queued; the
+                # newcomer is worthless for a snapshot view.
+                self.superseded_discards += 1
+                discarded.append(update)
+                return discarded
+            if newest is not None:
+                # Replace every older queued update for this object.
+                for old in list(self._by_object.get(key, ())):
+                    self._remove_update(old)
+                    self.superseded_discards += 1
+                    discarded.append(old)
+
+        while self._live >= self.capacity:
+            victim = self._pop_front()
+            if victim is None:  # pragma: no cover - capacity >= 1 guards this
+                break
+            self.overflow_discards += 1
+            discarded.append(victim)
+            self._notify(victim.key, now)
+
+        sort_key = (update.generation_time, update.seq)
+        index = bisect.bisect_right(self._keys, sort_key, self._head)
+        self._keys.insert(index, sort_key)
+        self._items.insert(index, update)
+        update.queued = True
+        self._live += 1
+        self.total_pushed += 1
+        self._by_object.setdefault(key, []).append(update)
+        self._notify(key, now)
+        return discarded
+
+    def pop_next(self, lifo: bool, now: float) -> Update | None:
+        """Dequeue per the service discipline (paper section 4.2)."""
+        update = self._pop_back() if lifo else self._pop_front()
+        if update is not None:
+            self._notify(update.key, now)
+        return update
+
+    def remove(self, update: Update, now: float) -> None:
+        """Remove a specific queued update (used by OD after applying it)."""
+        if not update.queued:
+            raise KeyError(f"update {update.seq} is not queued")
+        self._remove_update(update)
+        self._notify(update.key, now)
+
+    def expire_older_than(self, cutoff_generation: float, now: float) -> list[Update]:
+        """Discard every update generated before ``cutoff_generation``.
+
+        Because the queue is generation-ordered this touches only the front
+        (the paper's constant-time expiry check per scheduling point).
+        """
+        expired: list[Update] = []
+        items = self._items
+        while self._head < len(items):
+            head = items[self._head]
+            if not head.queued:
+                self._head += 1
+                continue
+            if head.generation_time >= cutoff_generation:
+                break
+            self._head += 1
+            head.queued = False
+            self._live -= 1
+            self._drop_from_object(head)
+            self.expired_discards += 1
+            expired.append(head)
+            self._notify(head.key, now)
+        self._maybe_trim()
+        return expired
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def newest_for(self, key: ObjectKey) -> Update | None:
+        """Newest queued update targeting ``key`` (O(k) in queued-per-object,
+        O(1) when the queue is small per object, as it is in practice)."""
+        candidates = self._by_object.get(key)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda u: (u.generation_time, u.seq))
+
+    def newest_generation_for(self, key: ObjectKey) -> float | None:
+        """Generation timestamp of the newest queued update for ``key``."""
+        newest = self.newest_for(key)
+        return None if newest is None else newest.generation_time
+
+    def pending_for(self, key: ObjectKey) -> int:
+        """Number of queued updates targeting ``key``."""
+        return len(self._by_object.get(key, ()))
+
+    def oldest(self) -> Update | None:
+        """The queued update with the oldest generation, without removing."""
+        for update in self._items:
+            if update.queued:
+                return update
+        return None
+
+    def newest(self) -> Update | None:
+        """The queued update with the newest generation, without removing."""
+        for update in reversed(self._items):
+            if update.queued:
+                return update
+        return None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator[Update]:
+        """Iterate live updates in generation order (inspection/testing)."""
+        return (update for update in self._items if update.queued)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _notify(self, key: ObjectKey, now: float) -> None:
+        if self.observer is not None:
+            self.observer(key, now)
+
+    def _pop_front(self) -> Update | None:
+        items = self._items
+        while self._head < len(items):
+            update = items[self._head]
+            self._head += 1
+            if update.queued:
+                update.queued = False
+                self._live -= 1
+                self._drop_from_object(update)
+                self._maybe_trim()
+                return update
+        self._maybe_trim()
+        return None
+
+    def _pop_back(self) -> Update | None:
+        keys, items = self._keys, self._items
+        while len(items) > self._head:
+            update = items[-1]
+            keys.pop()
+            items.pop()
+            if update.queued:
+                update.queued = False
+                self._live -= 1
+                self._drop_from_object(update)
+                return update
+        return None
+
+    def _maybe_trim(self) -> None:
+        """Physically discard the consumed prefix once it dominates."""
+        head = self._head
+        if head > self._COMPACT_THRESHOLD and head * 2 > len(self._items):
+            del self._items[:head]
+            del self._keys[:head]
+            self._head = 0
+
+    def _remove_update(self, update: Update) -> None:
+        """Tombstone an update anywhere in the queue (O(1))."""
+        update.queued = False
+        self._live -= 1
+        self._drop_from_object(update)
+        dead = len(self._items) - self._live
+        if dead > self._live and dead > self._COMPACT_THRESHOLD:
+            self._compact()
+
+    def _drop_from_object(self, update: Update) -> None:
+        bucket = self._by_object.get(update.key)
+        if bucket is None:  # pragma: no cover - internal invariant
+            return
+        bucket.remove(update)
+        if not bucket:
+            del self._by_object[update.key]
+
+    def _compact(self) -> None:
+        live_items = [update for update in self._items if update.queued]
+        self._items = live_items
+        self._keys = [(update.generation_time, update.seq) for update in live_items]
+        self._head = 0
+
+
+class PartitionedUpdateQueue:
+    """Update queue split by importance (paper section 4.2 future work).
+
+    Presents the same interface as :class:`UpdateQueue` but internally keeps
+    one queue per view partition; :meth:`pop_next` serves the
+    high-importance queue first.  Capacity is split evenly.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        indexed: bool = False,
+        observer: QueueObserver | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(f"partitioned queue needs capacity >= 2, got {capacity}")
+        half = capacity // 2
+        self.capacity = capacity
+        self.indexed = indexed
+        self.high = UpdateQueue(capacity - half, indexed=indexed, observer=observer)
+        self.low = UpdateQueue(half, indexed=indexed, observer=observer)
+
+    # -- observer must reach both halves ---------------------------------
+    @property
+    def observer(self) -> QueueObserver | None:
+        return self.high.observer
+
+    @observer.setter
+    def observer(self, value: QueueObserver | None) -> None:
+        self.high.observer = value
+        self.low.observer = value
+
+    def _part(self, klass: ObjectClass) -> UpdateQueue:
+        return self.high if klass is ObjectClass.VIEW_HIGH else self.low
+
+    def reset_counters(self) -> None:
+        """Zero the discard counters of both halves (warmup boundary)."""
+        self.high.reset_counters()
+        self.low.reset_counters()
+
+    def push(self, update: Update, now: float) -> list[Update]:
+        return self._part(update.klass).push(update, now)
+
+    def pop_next(self, lifo: bool, now: float) -> Update | None:
+        update = self.high.pop_next(lifo, now)
+        if update is not None:
+            return update
+        return self.low.pop_next(lifo, now)
+
+    def remove(self, update: Update, now: float) -> None:
+        self._part(update.klass).remove(update, now)
+
+    def expire_older_than(self, cutoff_generation: float, now: float) -> list[Update]:
+        expired = self.high.expire_older_than(cutoff_generation, now)
+        expired.extend(self.low.expire_older_than(cutoff_generation, now))
+        return expired
+
+    def newest_for(self, key: ObjectKey) -> Update | None:
+        return self._part(key[0]).newest_for(key)
+
+    def newest_generation_for(self, key: ObjectKey) -> float | None:
+        return self._part(key[0]).newest_generation_for(key)
+
+    def pending_for(self, key: ObjectKey) -> int:
+        return self._part(key[0]).pending_for(key)
+
+    def __len__(self) -> int:
+        return len(self.high) + len(self.low)
+
+    def __bool__(self) -> bool:
+        return bool(self.high) or bool(self.low)
+
+    def __iter__(self) -> Iterator[Update]:
+        yield from self.high
+        yield from self.low
+
+    # -- aggregated counters ------------------------------------------------
+    @property
+    def total_pushed(self) -> int:
+        return self.high.total_pushed + self.low.total_pushed
+
+    @property
+    def overflow_discards(self) -> int:
+        return self.high.overflow_discards + self.low.overflow_discards
+
+    @property
+    def expired_discards(self) -> int:
+        return self.high.expired_discards + self.low.expired_discards
+
+    @property
+    def superseded_discards(self) -> int:
+        return self.high.superseded_discards + self.low.superseded_discards

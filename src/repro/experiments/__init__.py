@@ -1,0 +1,45 @@
+"""Experiment harness: the paper's evaluation, figure by figure.
+
+:mod:`repro.experiments.sweeps` runs parameter sweeps across algorithms;
+:mod:`repro.experiments.figures` defines one experiment per paper figure
+(3 through 16) plus the ablations listed in DESIGN.md.  The benchmark
+suite and the ``repro-experiments`` CLI are thin wrappers over these.
+"""
+
+from repro.experiments.sweeps import ExperimentScale, Sweep, SweepPoint, run_sweep
+from repro.experiments.figures import FIGURES, Figure, Panel, build_figure
+from repro.experiments.replication import (
+    MetricSummary,
+    ReplicatedResult,
+    compare_algorithms,
+    run_replicated,
+)
+from repro.experiments.plots import render_chart, render_figure, render_panel
+from repro.experiments.sensitivity import (
+    STANDARD_PARAMETERS,
+    SensitivityRow,
+    analyze_sensitivity,
+    format_sensitivity,
+)
+
+__all__ = [
+    "FIGURES",
+    "STANDARD_PARAMETERS",
+    "ExperimentScale",
+    "Figure",
+    "MetricSummary",
+    "Panel",
+    "ReplicatedResult",
+    "SensitivityRow",
+    "Sweep",
+    "SweepPoint",
+    "analyze_sensitivity",
+    "build_figure",
+    "compare_algorithms",
+    "format_sensitivity",
+    "render_chart",
+    "render_figure",
+    "render_panel",
+    "run_replicated",
+    "run_sweep",
+]

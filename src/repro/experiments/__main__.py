@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments --figure 5        # one figure, quick scale
+    python -m repro.experiments --all             # every figure + ablations
+    REPRO_FULL=1 python -m repro.experiments --all  # paper scale (1000 s/point)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, build_figure
+from repro.experiments.sweeps import ExperimentScale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Adelberg et al. (SIGMOD 1995).",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=None,
+        metavar="ID",
+        help=f"figure to build (repeatable); one of: {', '.join(FIGURES)}",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="build every figure and ablation"
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's 1000-second runs (same as REPRO_FULL=1)",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render each panel as an ASCII line chart",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the full report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.all:
+        figure_ids = list(FIGURES)
+    elif args.figure:
+        figure_ids = args.figure
+    else:
+        parser.error("pass --figure ID (repeatable) or --all")
+
+    scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale.from_env()
+    header = (
+        f"scale: {scale.label} ({scale.duration:g}s/point, "
+        f"{scale.warmup:g}s warmup)"
+    )
+    print(header)
+
+    report_lines = [header]
+    failures = 0
+    for figure_id in figure_ids:
+        start = time.time()
+        figure = build_figure(figure_id, scale)
+        block = figure.render()
+        if args.charts:
+            from repro.experiments.plots import render_figure
+
+            block += "\n\n" + render_figure(figure)
+        print()
+        print(block)
+        print(f"[figure {figure_id} built in {time.time() - start:.1f}s]")
+        report_lines.append("")
+        report_lines.append(block)
+        failures += len(figure.failed_checks())
+
+    verdict = (
+        f"{failures} shape check(s) FAILED" if failures else "all shape checks passed"
+    )
+    report_lines.append("")
+    report_lines.append(verdict)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n".join(report_lines) + "\n")
+        print(f"[report written to {args.output}]")
+    if failures:
+        print(f"\n{verdict}", file=sys.stderr)
+        return 1
+    print(f"\n{verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Terminal (ASCII) line charts for figure panels.
+
+The paper's figures are multi-series line plots; this module renders a
+:class:`~repro.experiments.figures.Panel` as a character grid so the shape
+of every reproduced figure is visible straight from the CLI or pytest
+output — no plotting dependency required.
+
+Each series gets a marker character (mirroring the paper's +, x, box,
+diamond point styles); overlapping points show the later series' marker.
+"""
+
+from __future__ import annotations
+
+#: Marker characters assigned to series in order (the paper uses +, x for
+#: the transaction-favouring algorithms and box/diamond for the
+#: update-favouring ones; we keep that spirit).
+MARKERS = "+x#o*@%&"
+
+
+def render_chart(
+    columns: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Args:
+        columns: Mapping series name -> list of (x, y) points.
+        width: Plot-area width in characters (>= 8).
+        height: Plot-area height in rows (>= 4).
+        x_label: Label printed under the x axis.
+        title: Optional heading line.
+
+    Returns:
+        A multi-line string: title, legend, y-axis-labelled grid, x axis.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    if not columns:
+        raise ValueError("no series to plot")
+
+    points = [point for series in columns.values() for point in series]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend_parts = []
+    for index, (name, series) in enumerate(columns.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend_parts.append(f"{marker}={name}")
+        for x, y in series:
+            place(x, y, marker)
+
+    y_top = f"{y_high:.3g}"
+    y_bottom = f"{y_low:.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("legend: " + "  ".join(legend_parts))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_low:.3g}"
+    x_right = f"{x_high:.3g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, gap) + x_right
+    )
+    lines.append(" " * (label_width + 2) + x_label.center(width))
+    return "\n".join(lines)
+
+
+def render_panel(panel, width: int = 60, height: int = 16) -> str:
+    """Render a figure :class:`~repro.experiments.figures.Panel` as ASCII."""
+    return render_chart(
+        panel.columns,
+        width=width,
+        height=height,
+        x_label=panel.x_label,
+        title=panel.name,
+    )
+
+
+def render_figure(figure, width: int = 60, height: int = 16) -> str:
+    """Render every panel of a figure, separated by blank lines."""
+    charts = [render_panel(panel, width, height) for panel in figure.panels]
+    return "\n\n".join(charts)

@@ -1,0 +1,165 @@
+"""Replicated runs and summary statistics.
+
+The paper reports one 1000-second run per data point.  For shorter runs —
+or to put error bars on any comparison — this module runs independent
+replications (each with a seed derived from the root seed, so replication
+``i`` of algorithm A and of algorithm B still share a workload) and
+summarizes every numeric metric with mean, standard deviation, and a
+t-distribution confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Sequence
+
+from repro.config import SimulationConfig
+from repro.core.simulator import run_simulation
+from repro.metrics.results import SimulationResult
+from repro.sim.streams import derive_seed
+
+#: Two-sided Student-t 97.5% quantiles for small sample sizes (df = 1..30);
+#: beyond 30 the normal approximation is used.
+_T_975 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_quantile_975(degrees_of_freedom: int) -> float:
+    """Two-sided 95% Student-t critical value."""
+    if degrees_of_freedom < 1:
+        raise ValueError("need at least one degree of freedom")
+    if degrees_of_freedom <= len(_T_975):
+        return _T_975[degrees_of_freedom - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one metric across replications."""
+
+    name: str
+    mean: float
+    stdev: float
+    ci_halfwidth: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_halfwidth
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.4f} ± {self.ci_halfwidth:.4f} "
+            f"(sd {self.stdev:.4f}, n={self.samples})"
+        )
+
+
+def summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    """Mean / stdev / 95% CI of a sample."""
+    if not values:
+        raise ValueError(f"no samples for {name}")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+        half = t_quantile_975(n - 1) * stdev / math.sqrt(n)
+    else:
+        stdev = 0.0
+        half = 0.0
+    return MetricSummary(
+        name=name,
+        mean=mean,
+        stdev=stdev,
+        ci_halfwidth=half,
+        minimum=min(values),
+        maximum=max(values),
+        samples=n,
+    )
+
+
+#: SimulationResult fields that are meaningful to average.
+NUMERIC_METRICS = (
+    "p_md",
+    "p_success",
+    "p_suc_nontardy",
+    "average_value",
+    "fold_low",
+    "fold_high",
+    "rho_transactions",
+    "rho_updates",
+    "mean_update_queue_length",
+)
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """All replications of one (config, algorithm) cell plus summaries."""
+
+    algorithm: str
+    replications: tuple[SimulationResult, ...]
+    summaries: dict[str, MetricSummary]
+
+    def metric(self, name: str) -> MetricSummary:
+        summary = self.summaries.get(name)
+        if summary is None:
+            known = ", ".join(sorted(self.summaries))
+            raise KeyError(f"unknown metric {name!r}; known: {known}")
+        return summary
+
+    def mean(self, name: str) -> float:
+        return self.metric(name).mean
+
+
+def run_replicated(
+    config: SimulationConfig,
+    algorithm: str,
+    replications: int = 5,
+    **algorithm_kwargs,
+) -> ReplicatedResult:
+    """Run ``replications`` independent copies of one simulation cell.
+
+    Replication ``i`` uses ``derive_seed(config.seed, "replication:i")``,
+    so the i-th replication of every *algorithm* under the same base config
+    still shares its workload (paired comparisons stay noise-free).
+    """
+    if replications < 1:
+        raise ValueError(f"need at least 1 replication, got {replications}")
+    results = []
+    for index in range(replications):
+        replica = config.replace(
+            seed=derive_seed(config.seed, f"replication:{index}")
+        )
+        results.append(run_simulation(replica, algorithm, **algorithm_kwargs))
+    summaries = {
+        name: summarize(name, [getattr(r, name) for r in results])
+        for name in NUMERIC_METRICS
+    }
+    return ReplicatedResult(
+        algorithm=results[0].algorithm,
+        replications=tuple(results),
+        summaries=summaries,
+    )
+
+
+def compare_algorithms(
+    config: SimulationConfig,
+    algorithms: Sequence[str],
+    metric: str,
+    replications: int = 5,
+) -> dict[str, MetricSummary]:
+    """Replicated paired comparison of one metric across algorithms."""
+    return {
+        name: run_replicated(config, name, replications).metric(metric)
+        for name in algorithms
+    }

@@ -1,0 +1,160 @@
+"""Parameter sweeps across scheduling algorithms.
+
+A sweep runs one simulation per (x-value, algorithm) pair, holding the
+random seed fixed so every algorithm sees the identical workload at every
+point (the paper's methodology, made noise-free with common random
+numbers).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import SimulationConfig, baseline_config
+from repro.core.simulator import run_simulation
+from repro.metrics.results import SimulationResult
+
+#: Environment variable that switches every experiment to the paper's full
+#: scale (1000 simulated seconds per point).
+FULL_SCALE_ENV = "REPRO_FULL"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How long each simulated point runs.
+
+    The paper simulates 1000 seconds per data point.  The default "quick"
+    scale uses shorter runs with a warmup window (the database starts
+    all-fresh, so the first ``max_age`` seconds understate staleness);
+    Poisson statistics at 400 updates/second converge well within it.
+    """
+
+    duration: float
+    warmup: float
+    label: str
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        return cls(duration=60.0, warmup=12.0, label="quick")
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(duration=1000.0, warmup=20.0, label="paper")
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Paper scale when ``REPRO_FULL`` is set, quick otherwise."""
+        if os.environ.get(FULL_SCALE_ENV, "").strip() not in ("", "0"):
+            return cls.paper()
+        return cls.quick()
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """Copy ``config`` with this scale's duration/warmup."""
+        return config.replace(duration=self.duration, warmup=self.warmup)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation inside a sweep."""
+
+    x: float
+    algorithm: str
+    result: SimulationResult
+
+
+@dataclass
+class Sweep:
+    """All runs of one experiment."""
+
+    x_label: str
+    algorithms: tuple[str, ...]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        """Distinct x values in run order."""
+        seen: list[float] = []
+        for point in self.points:
+            if point.x not in seen:
+                seen.append(point.x)
+        return seen
+
+    def result(self, x: float, algorithm: str) -> SimulationResult:
+        """The result at one grid point."""
+        for point in self.points:
+            if point.x == x and point.algorithm == algorithm:
+                return point.result
+        raise KeyError(f"no point at x={x} for {algorithm}")
+
+    def series(
+        self, algorithm: str, metric: str | Callable[[SimulationResult], float]
+    ) -> list[tuple[float, float]]:
+        """(x, metric) pairs for one algorithm, in x order."""
+        getter = (
+            metric if callable(metric) else lambda result: getattr(result, metric)
+        )
+        return [
+            (point.x, getter(point.result))
+            for point in self.points
+            if point.algorithm == algorithm
+        ]
+
+    def values(
+        self, algorithm: str, metric: str | Callable[[SimulationResult], float]
+    ) -> list[float]:
+        """Just the metric values for one algorithm, in x order."""
+        return [y for _, y in self.series(algorithm, metric)]
+
+
+def _run_cell(args: tuple) -> SweepPoint:
+    """Worker entry for one (x, algorithm) sweep cell (picklable)."""
+    x, config, name, kwargs = args
+    return SweepPoint(x=x, algorithm=name,
+                      result=run_simulation(config, name, **kwargs))
+
+
+def run_sweep(
+    base_config: SimulationConfig,
+    x_label: str,
+    xs: Sequence[float],
+    configure: Callable[[SimulationConfig, float], SimulationConfig],
+    algorithms: Sequence[str],
+    algorithm_kwargs: dict[str, dict] | None = None,
+    workers: int = 1,
+) -> Sweep:
+    """Run ``configure(base, x)`` for every x and algorithm.
+
+    Args:
+        base_config: Template configuration (already scaled).
+        x_label: Name of the swept parameter, for reports.
+        xs: Grid of parameter values.
+        configure: Pure function producing the config for one x.
+        algorithms: Algorithm registry names to compare.
+        algorithm_kwargs: Optional per-algorithm constructor arguments.
+        workers: Process count; > 1 fans the independent cells out over a
+            process pool.  Results are identical to a serial run (every
+            cell is seeded independently of execution order).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    sweep = Sweep(x_label=x_label, algorithms=tuple(algorithms))
+    kwargs_by_name = algorithm_kwargs or {}
+    cells = []
+    for x in xs:
+        config = configure(base_config, x).validate()
+        for name in algorithms:
+            cells.append((x, config, name, kwargs_by_name.get(name, {})))
+    if workers == 1:
+        sweep.points.extend(_run_cell(cell) for cell in cells)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            sweep.points.extend(pool.map(_run_cell, cells))
+    return sweep
+
+
+def scaled_baseline(scale: ExperimentScale, **overrides) -> SimulationConfig:
+    """The paper's baseline config at the requested scale."""
+    return scale.apply(baseline_config(**overrides))

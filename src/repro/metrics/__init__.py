@@ -1,0 +1,48 @@
+"""Performance metrics (paper section 3.5).
+
+The paper extends the traditional missed-deadline metrics with data
+staleness: the time-averaged stale fractions ``fold_l``/``fold_h``, the
+fraction of transactions that are both timely and fresh (``psuccess``), and
+the average value per second (``AV``).  This subpackage holds the exact
+staleness ledgers, the per-run counters, and the result/reporting types.
+"""
+
+from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
+from repro.metrics.freshness import (
+    FreshnessLedger,
+    MaxAgeLedger,
+    SampledLedger,
+    UnappliedUpdateLedger,
+    make_ledger,
+)
+from repro.metrics.results import SimulationResult
+from repro.metrics.report import format_table, format_result
+from repro.metrics.storage import (
+    diff_results,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.metrics.validate import assert_invariants, check_invariants
+
+__all__ = [
+    "CpuAccounting",
+    "FreshnessLedger",
+    "MaxAgeLedger",
+    "SampledLedger",
+    "SimulationResult",
+    "TransactionLog",
+    "UnappliedUpdateLedger",
+    "UpdateAccounting",
+    "assert_invariants",
+    "check_invariants",
+    "diff_results",
+    "format_result",
+    "format_table",
+    "load_results",
+    "make_ledger",
+    "result_from_dict",
+    "result_to_dict",
+    "save_results",
+]

@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers for experiment output.
+
+The benchmark harness prints paper-style series with these formatters so
+every figure's reproduction is readable directly from the pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.metrics.results import SimulationResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 4 significant decimals; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows = [
+        [_format_cell(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: SimulationResult) -> str:
+    """A multi-line human-readable dump of one run's metrics."""
+    rows = [
+        ("p_MD (missed deadlines)", f"{result.p_md:.4f}"),
+        ("p_success", f"{result.p_success:.4f}"),
+        ("p_suc|nontardy", f"{result.p_suc_nontardy:.4f}"),
+        ("AV (value/sec)", f"{result.average_value:.4f}"),
+        ("fold_low", f"{result.fold_low:.4f}"),
+        ("fold_high", f"{result.fold_high:.4f}"),
+        ("rho_transactions", f"{result.rho_transactions:.4f}"),
+        ("rho_updates", f"{result.rho_updates:.4f}"),
+        ("transactions arrived", result.transactions_arrived),
+        ("transactions committed", result.transactions_committed),
+        ("transactions aborted (stale)", result.transactions_aborted_stale),
+        ("updates arrived", result.updates_arrived),
+        ("updates applied", result.updates_applied),
+        ("updates expired", result.updates_expired),
+        ("mean update-queue length", f"{result.mean_update_queue_length:.1f}"),
+    ]
+    return format_table(
+        ("metric", "value"),
+        rows,
+        title=f"{result.algorithm} under {result.staleness} "
+        f"({result.duration:g}s simulated, seed {result.seed})",
+    )
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

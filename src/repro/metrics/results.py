@@ -1,0 +1,133 @@
+"""Result of one simulation run (paper section 3.5 metrics).
+
+:class:`SimulationResult` is a frozen snapshot of every metric the paper
+reports, plus the raw counters the reproduction exposes for debugging and
+the conservation-law tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Metrics of one simulation run.
+
+    The field names mirror the paper:
+
+    * ``p_md`` — fraction of transactions that did not complete by their
+      deadline (includes stale-data aborts, which by definition do not
+      complete).
+    * ``p_success`` — fraction that completed on time *and* read only fresh
+      data.
+    * ``p_suc_nontardy`` — of the transactions that completed on time, the
+      fraction that read only fresh data.
+    * ``average_value`` — value earned per simulated second (AV).
+    * ``fold_low`` / ``fold_high`` — time-averaged stale fraction of the
+      low/high-importance view partitions.
+    * ``rho_transactions`` / ``rho_updates`` — CPU fraction spent on
+      transaction / update work.
+    """
+
+    algorithm: str
+    staleness: str
+    duration: float
+    seed: int
+
+    # Headline metrics
+    p_md: float
+    p_success: float
+    p_suc_nontardy: float
+    average_value: float
+    fold_low: float
+    fold_high: float
+    rho_transactions: float
+    rho_updates: float
+
+    # Transaction accounting
+    transactions_arrived: int
+    transactions_committed: int
+    transactions_committed_fresh: int
+    transactions_missed: int
+    transactions_aborted_stale: int
+    transactions_infeasible: int
+    transactions_in_flight: int
+    value_earned: float
+    value_offered: float
+    stale_reads: int
+    view_reads: int
+
+    # Update accounting
+    updates_arrived: int
+    updates_received: int
+    updates_enqueued: int
+    updates_applied: int
+    updates_skipped: int
+    updates_on_demand_applied: int
+    updates_on_demand_scans: int
+    updates_os_dropped: int
+    updates_expired: int
+    updates_overflowed: int
+    updates_superseded: int
+    updates_pending_os: int
+    updates_pending_queue: int
+    mean_update_queue_length: float
+
+    # Engine accounting
+    context_switches: int
+    preemptions: int
+    events_dispatched: int
+
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rho_total(self) -> float:
+        """Total CPU utilization."""
+        return self.rho_transactions + self.rho_updates
+
+    @property
+    def fraction_stale_reads(self) -> float:
+        """Fraction of view reads that returned stale data."""
+        if self.view_reads == 0:
+            return 0.0
+        return self.stale_reads / self.view_reads
+
+    def update_conservation_gap(self) -> int:
+        """Arrived-updates minus all accounted fates; zero when consistent.
+
+        On-demand applies remove updates from the update queue, and the
+        installed/skipped counters already include them, so they need no
+        separate term.
+        """
+        accounted = (
+            self.updates_os_dropped
+            + self.updates_applied
+            + self.updates_skipped
+            + self.updates_expired
+            + self.updates_overflowed
+            + self.updates_superseded
+            + self.updates_pending_os
+            + self.updates_pending_queue
+        )
+        return self.updates_arrived - accounted
+
+    def transaction_conservation_gap(self) -> int:
+        """Arrived-transactions minus all accounted fates; zero when consistent."""
+        accounted = (
+            self.transactions_committed
+            + self.transactions_missed
+            + self.transactions_aborted_stale
+            + self.transactions_in_flight
+        )
+        return self.transactions_arrived - accounted
+
+    def summary(self) -> str:
+        """One-line digest for logs."""
+        return (
+            f"{self.algorithm:>4} [{self.staleness}] "
+            f"pMD={self.p_md:.3f} psucc={self.p_success:.3f} "
+            f"AV={self.average_value:.2f} "
+            f"fold_l={self.fold_low:.3f} fold_h={self.fold_high:.3f} "
+            f"rho=({self.rho_transactions:.2f},{self.rho_updates:.2f})"
+        )

@@ -1,0 +1,82 @@
+"""Persist and compare simulation results.
+
+Experiment campaigns want to save each run's metrics, reload them later,
+and diff two runs (e.g. before/after a scheduler change).  Results
+round-trip through plain JSON so they are greppable and diffable outside
+Python too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.metrics.results import SimulationResult
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A JSON-ready dictionary of one result."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Rebuild a result saved by :func:`result_to_dict`.
+
+    Raises:
+        ValueError: when required fields are missing or unknown fields are
+            present (a saved file from an incompatible version).
+    """
+    field_names = {field.name for field in dataclasses.fields(SimulationResult)}
+    provided = set(payload)
+    missing = field_names - provided
+    extra = provided - field_names
+    if missing or extra:
+        raise ValueError(
+            f"incompatible result payload: missing={sorted(missing)} "
+            f"extra={sorted(extra)}"
+        )
+    return SimulationResult(**payload)
+
+
+def save_results(results: Iterable[SimulationResult], path: str | Path) -> int:
+    """Write results to a JSON file; returns the number written."""
+    payload = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return len(payload)
+
+
+def load_results(path: str | Path) -> list[SimulationResult]:
+    """Load results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a JSON list of results")
+    return [result_from_dict(item) for item in payload]
+
+
+def diff_results(
+    before: SimulationResult,
+    after: SimulationResult,
+    atol: float = 0.0,
+) -> dict[str, tuple[float, float]]:
+    """Fields whose values differ between two results.
+
+    Args:
+        before, after: The results to compare.
+        atol: Absolute tolerance under which numeric differences are
+            ignored.
+
+    Returns:
+        Mapping field name -> (before, after) for every differing field.
+    """
+    differences: dict[str, tuple[float, float]] = {}
+    for field in dataclasses.fields(SimulationResult):
+        a = getattr(before, field.name)
+        b = getattr(after, field.name)
+        if isinstance(a, float) and isinstance(b, float):
+            if abs(a - b) > atol:
+                differences[field.name] = (a, b)
+        elif a != b:
+            differences[field.name] = (a, b)
+    return differences

@@ -1,0 +1,78 @@
+"""Invariant validation for simulation results.
+
+Every :class:`~repro.metrics.results.SimulationResult` must satisfy a set
+of structural invariants regardless of configuration: conservation laws,
+probability bounds, and cross-metric consistency.  The property tests, the
+benchmark harness, and downstream users can all call
+:func:`check_invariants` instead of re-deriving the list.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.results import SimulationResult
+
+#: Tolerance for floating-point comparisons between derived metrics.
+_EPS = 1e-9
+
+
+def check_invariants(result: SimulationResult) -> list[str]:
+    """Return a list of violated-invariant descriptions (empty = healthy)."""
+    violations: list[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            violations.append(message)
+
+    gap = result.update_conservation_gap()
+    expect(gap == 0, f"update conservation gap is {gap}")
+    gap = result.transaction_conservation_gap()
+    expect(gap == 0, f"transaction conservation gap is {gap}")
+
+    for name in ("p_md", "p_success", "p_suc_nontardy", "fold_low", "fold_high"):
+        value = getattr(result, name)
+        expect(0.0 <= value <= 1.0, f"{name}={value} outside [0, 1]")
+
+    expect(
+        result.p_success <= 1.0 - result.p_md + _EPS,
+        f"p_success {result.p_success} exceeds 1 - p_md {1 - result.p_md}",
+    )
+    expect(
+        result.transactions_committed_fresh <= result.transactions_committed,
+        "more fresh commits than commits",
+    )
+    expect(
+        0.0 <= result.rho_total <= 1.0 + 1e-6,
+        f"total utilization {result.rho_total} outside [0, 1]",
+    )
+    expect(
+        result.value_earned <= result.value_offered + _EPS,
+        "earned more value than was offered",
+    )
+    expect(
+        result.updates_applied + result.updates_skipped <= result.updates_arrived,
+        "installed more updates than arrived",
+    )
+    expect(
+        result.stale_reads <= result.view_reads,
+        "more stale reads than reads",
+    )
+    expect(
+        result.transactions_infeasible <= result.transactions_missed,
+        "infeasible aborts exceed missed deadlines",
+    )
+    expect(result.duration > 0, f"non-positive duration {result.duration}")
+    if result.updates_on_demand_scans == 0:
+        expect(
+            result.updates_on_demand_applied == 0,
+            "on-demand applies without scans",
+        )
+    return violations
+
+
+def assert_invariants(result: SimulationResult) -> None:
+    """Raise AssertionError listing every violated invariant."""
+    violations = check_invariants(result)
+    if violations:
+        raise AssertionError(
+            "result violates invariants:\n" + "\n".join(f"- {v}" for v in violations)
+        )

@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the stand-in for the DeNet simulation language the paper
+used: a minimal, fast event loop with cancellable events plus deterministic,
+independently seeded random-number streams so that every scheduling algorithm
+can be evaluated against an *identical* stochastic workload (common random
+numbers).
+"""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event
+from repro.sim.streams import RandomStream, StreamFamily
+
+__all__ = [
+    "Engine",
+    "Event",
+    "RandomStream",
+    "SimulationError",
+    "StreamFamily",
+]

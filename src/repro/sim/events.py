@@ -1,0 +1,57 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` is a scheduled callback.  Events support O(1) cancellation:
+a cancelled event stays in the heap but is skipped when popped (the standard
+"lazy deletion" idiom), which keeps the hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A single scheduled occurrence inside an :class:`~repro.sim.Engine`.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker assigned by the engine so that two events scheduled
+    for the same instant fire in scheduling order (FIFO at an instant).
+
+    Attributes:
+        time: Simulated time at which the callback fires.
+        seq: Engine-assigned tie-breaker; also a stable identity.
+        callback: Callable invoked as ``callback(*args)`` when the event
+            fires.  The engine's current time is available via the engine.
+        args: Positional arguments for the callback.
+        cancelled: True once :meth:`cancel` has been called; the engine
+            silently discards cancelled events.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{status}>"

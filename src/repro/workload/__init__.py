@@ -1,0 +1,18 @@
+"""Stochastic workload generation (paper sections 5.1 and 5.2).
+
+Generators draw from dedicated random streams and push arrivals into the
+simulation engine, so every scheduling algorithm under comparison sees a
+bit-identical workload for a given seed.
+"""
+
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+from repro.workload.trace import TraceRecorder, replay_updates
+
+__all__ = [
+    "TraceRecorder",
+    "TransactionGenerator",
+    "TransactionSpec",
+    "UpdateStreamGenerator",
+    "replay_updates",
+]

@@ -1,0 +1,201 @@
+"""The external update stream (paper section 5.1).
+
+Arrivals form a Poisson process with rate ``lambda_u``.  Each update targets
+a uniformly chosen object of the low-importance view (with probability
+``p_ul``) or the high-importance view, and has already aged in the network:
+its generation timestamp is ``arrival - age`` with ``age ~ Exp(a_update)``.
+
+Two extensions the paper lists as future work are available:
+
+* ``UpdatePattern.PERIODIC`` — every view object is refreshed on a fixed
+  period (``(N_l + N_h) / lambda_u``), with phases staggered uniformly; this
+  models sensor scan cycles (the plant-control example uses it).
+* ``partial_probability > 0`` — an update refreshes a single attribute
+  rather than the whole object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import SimulationConfig, UpdatePattern
+from repro.db.objects import ObjectClass, Update
+from repro.sim.engine import Engine
+from repro.sim.streams import StreamFamily
+
+UpdateSink = Callable[[Update], None]
+
+
+class UpdateStreamGenerator:
+    """Feeds the update stream into the simulation.
+
+    The generator schedules one arrival at a time (lazy generation), so
+    memory stays constant for arbitrarily long runs while the draw sequence
+    stays independent of anything the scheduler does.
+    """
+
+    STREAM_ARRIVALS = "updates.arrivals"
+    STREAM_SHAPE = "updates.shape"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        engine: Engine,
+        streams: StreamFamily,
+        sink: UpdateSink,
+    ) -> None:
+        self.params = config.updates
+        self.engine = engine
+        self.sink = sink
+        self._arrivals = streams.stream(self.STREAM_ARRIVALS)
+        self._shape = streams.stream(self.STREAM_SHAPE)
+        self._next_seq = 0
+        self.generated = 0
+        # Periodic mode state: one slot per view object, visited round-robin.
+        self._periodic_order: list[tuple[ObjectClass, int]] | None = None
+        self._periodic_cursor = 0
+        # Bursty mode state (Markov-modulated Poisson).
+        self._in_peak = False
+        self._pending_arrival = None
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        if self.params.pattern is UpdatePattern.PERIODIC:
+            self._start_periodic()
+        elif self.params.pattern is UpdatePattern.BURSTY:
+            self._start_bursty()
+        else:
+            self.engine.schedule(
+                self._arrivals.interarrival(self.params.arrival_rate),
+                self._arrive_aperiodic,
+            )
+
+    # ------------------------------------------------------------------
+    # Aperiodic (paper baseline)
+    # ------------------------------------------------------------------
+    def _arrive_aperiodic(self) -> None:
+        update = self._draw_update(self.engine.now)
+        self.generated += 1
+        self.sink(update)
+        self.engine.schedule(
+            self._arrivals.interarrival(self.params.arrival_rate),
+            self._arrive_aperiodic,
+        )
+
+    def _draw_update(self, arrival_time: float) -> Update:
+        shape = self._shape
+        if shape.bernoulli(self.params.p_low):
+            klass = ObjectClass.VIEW_LOW
+            object_id = shape.choose_index(self.params.n_low)
+        else:
+            klass = ObjectClass.VIEW_HIGH
+            object_id = shape.choose_index(self.params.n_high)
+        age = shape.exponential(self.params.mean_age)
+        value = shape.uniform(0.0, 100.0)
+        partial = (
+            self.params.partial_probability > 0
+            and shape.bernoulli(self.params.partial_probability)
+        )
+        attribute = (
+            shape.choose_index(self.params.attributes_per_object) if partial else 0
+        )
+        update = Update(
+            seq=self._next_seq,
+            klass=klass,
+            object_id=object_id,
+            value=value,
+            generation_time=max(0.0, arrival_time - age),
+            arrival_time=arrival_time,
+            partial=partial,
+            attribute=attribute,
+        )
+        self._next_seq += 1
+        return update
+
+    # ------------------------------------------------------------------
+    # Bursty extension (Markov-modulated Poisson)
+    # ------------------------------------------------------------------
+    def _start_bursty(self) -> None:
+        self._in_peak = False
+        self._pending_arrival = None
+        self._schedule_state_change()
+        self._schedule_bursty_arrival()
+
+    def _current_rate(self) -> float:
+        if self._in_peak:
+            return self.params.peak_rate
+        return self.params.off_peak_rate
+
+    def _schedule_bursty_arrival(self) -> None:
+        rate = self._current_rate()
+        if rate <= 0:
+            self._pending_arrival = None  # silent until the state flips
+            return
+        self._pending_arrival = self.engine.schedule(
+            self._arrivals.interarrival(rate), self._arrive_bursty
+        )
+
+    def _arrive_bursty(self) -> None:
+        update = self._draw_update(self.engine.now)
+        self.generated += 1
+        self.sink(update)
+        self._schedule_bursty_arrival()
+
+    def _schedule_state_change(self) -> None:
+        # Exponential dwell times; off-peak dwell keeps the long-run peak
+        # fraction at burst_peak_fraction.
+        params = self.params
+        if self._in_peak:
+            dwell_mean = params.burst_dwell_mean
+        else:
+            dwell_mean = params.burst_dwell_mean * (
+                (1.0 - params.burst_peak_fraction) / params.burst_peak_fraction
+            )
+        self.engine.schedule(
+            self._arrivals.exponential(dwell_mean), self._flip_state
+        )
+
+    def _flip_state(self) -> None:
+        self._in_peak = not self._in_peak
+        # The exponential clock is memoryless, so cancelling the pending
+        # arrival and redrawing at the new rate is statistically exact.
+        if self._pending_arrival is not None:
+            self._pending_arrival.cancel()
+        self._schedule_bursty_arrival()
+        self._schedule_state_change()
+
+    # ------------------------------------------------------------------
+    # Periodic extension
+    # ------------------------------------------------------------------
+    def _start_periodic(self) -> None:
+        order = [
+            (ObjectClass.VIEW_LOW, i) for i in range(self.params.n_low)
+        ] + [
+            (ObjectClass.VIEW_HIGH, i) for i in range(self.params.n_high)
+        ]
+        self._periodic_order = order
+        # Spread the first refresh of each object uniformly over one period
+        # by visiting objects round-robin at the aggregate rate.
+        self.engine.schedule(
+            1.0 / self.params.arrival_rate, self._arrive_periodic
+        )
+
+    def _arrive_periodic(self) -> None:
+        assert self._periodic_order is not None
+        klass, object_id = self._periodic_order[self._periodic_cursor]
+        self._periodic_cursor = (self._periodic_cursor + 1) % len(self._periodic_order)
+        shape = self._shape
+        arrival_time = self.engine.now
+        age = shape.exponential(self.params.mean_age)
+        update = Update(
+            seq=self._next_seq,
+            klass=klass,
+            object_id=object_id,
+            value=shape.uniform(0.0, 100.0),
+            generation_time=max(0.0, arrival_time - age),
+            arrival_time=arrival_time,
+        )
+        self._next_seq += 1
+        self.generated += 1
+        self.sink(update)
+        self.engine.schedule(1.0 / self.params.arrival_rate, self._arrive_periodic)

@@ -1,0 +1,72 @@
+"""Tests for the single-run CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_default_run(capsys):
+    assert main(["--seconds", "5", "--lambda-u", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "OD under ma" in out
+    assert "p_MD" in out
+
+
+def test_algorithm_and_staleness_selection(capsys):
+    assert main([
+        "--algorithm", "UF", "--seconds", "5", "--lambda-u", "40",
+        "--staleness", "uu",
+    ]) == 0
+    assert "UF under uu" in capsys.readouterr().out
+
+
+def test_abort_and_discipline_flags(capsys):
+    assert main([
+        "--algorithm", "TF", "--seconds", "5", "--lambda-u", "40",
+        "--abort-stale", "--discipline", "lifo", "--max-age", "2.0",
+    ]) == 0
+    assert "TF under ma" in capsys.readouterr().out
+
+
+def test_fx_fraction(capsys):
+    assert main([
+        "--algorithm", "FX", "--fraction", "0.3",
+        "--seconds", "5", "--lambda-u", "40",
+    ]) == 0
+    assert "FX under" in capsys.readouterr().out
+
+
+def test_indexed_queue_flag(capsys):
+    assert main([
+        "--algorithm", "OD", "--indexed-queue",
+        "--seconds", "5", "--lambda-u", "40",
+    ]) == 0
+
+
+def test_replications_mode(capsys):
+    assert main([
+        "--algorithm", "TF", "--seconds", "4", "--lambda-u", "40",
+        "--replications", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "2 replications" in out
+    assert "±95% CI" in out
+
+
+def test_explicit_warmup(capsys):
+    assert main([
+        "--seconds", "6", "--warmup", "2", "--lambda-u", "40",
+    ]) == 0
+    assert "(4s simulated" in capsys.readouterr().out
+
+
+def test_unknown_algorithm_fails_loudly():
+    with pytest.raises(KeyError):
+        main(["--algorithm", "NOPE", "--seconds", "5", "--lambda-u", "40"])
+
+
+def test_parser_help_lists_algorithms():
+    parser = build_parser()
+    help_text = parser.format_help()
+    assert "UF, TF, SU, OD" in help_text
+    assert "--replications" in help_text

@@ -1,0 +1,370 @@
+"""Behavioral scenario tests for the controller and the four algorithms.
+
+Each test scripts a tiny deterministic workload through
+:meth:`repro.core.Simulation.run_scripted` and asserts the scheduling
+behaviour the paper specifies (who preempts whom, what waits, what gets
+refreshed on demand, how deadlines fire).
+"""
+
+import pytest
+
+from repro.config import (
+    QueueDiscipline,
+    StaleReadAction,
+    StalenessPolicy,
+    baseline_config,
+)
+from repro.core.simulator import Simulation
+from repro.db.objects import ObjectClass, Update
+from repro.workload.transactions import TransactionSpec
+
+LOOKUP = 4000 / 50e6       # seconds per index probe
+INSTALL = 24000 / 50e6     # lookup + apply
+
+
+def tiny_config(**top):
+    config = baseline_config(duration=20.0, **top)
+    return config.with_updates(n_low=4, n_high=4)
+
+
+def update(seq, arrival, object_id=0, age=0.01, klass=ObjectClass.VIEW_LOW):
+    return Update(
+        seq, klass, object_id, 1.0 + seq,
+        generation_time=arrival - age, arrival_time=arrival,
+    )
+
+
+def txn(seq, arrival, compute=0.1, reads=(), slack=0.5, value=1.0, high=False):
+    return TransactionSpec(
+        seq=seq,
+        arrival_time=arrival,
+        high_value=high,
+        value=value,
+        compute_time=compute,
+        reads=tuple(reads),
+        slack=slack,
+    )
+
+
+class TestUpdateFirst:
+    def test_update_preempts_running_transaction(self):
+        sim = Simulation(tiny_config(), "UF")
+        result = sim.run_scripted(
+            updates=[update(0, arrival=1.05)],
+            transactions=[txn(0, arrival=1.0, compute=0.1)],
+        )
+        assert result.preemptions == 1
+        assert result.updates_applied == 1
+        assert result.transactions_committed == 1
+        # The transaction finished late by exactly the install time.
+        obj = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        assert obj.install_time == pytest.approx(1.05 + INSTALL)
+
+    def test_update_during_install_waits_in_os_queue(self):
+        sim = Simulation(tiny_config(), "UF")
+        first_install_end = 1.0 + INSTALL
+        result = sim.run_scripted(
+            updates=[
+                update(0, arrival=1.0, object_id=0),
+                update(1, arrival=1.0 + INSTALL / 2, object_id=1),
+            ],
+        )
+        assert result.preemptions == 0
+        assert result.updates_applied == 2
+        second = sim.database.view_object(ObjectClass.VIEW_LOW, 1)
+        assert second.install_time == pytest.approx(first_install_end + INSTALL)
+
+    def test_uf_never_uses_update_queue(self):
+        sim = Simulation(tiny_config(), "UF")
+        result = sim.run_scripted(updates=[update(i, 1.0 + i * 0.01) for i in range(5)])
+        assert result.updates_enqueued == 0
+        assert result.updates_applied == 5
+
+
+class TestTransactionFirst:
+    def test_update_waits_for_running_transaction(self):
+        sim = Simulation(tiny_config(), "TF")
+        result = sim.run_scripted(
+            updates=[update(0, arrival=1.05)],
+            transactions=[txn(0, arrival=1.0, compute=0.1)],
+        )
+        assert result.preemptions == 0
+        assert result.updates_applied == 1
+        obj = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        # Installed only after the transaction committed at t=1.1.
+        assert obj.install_time >= 1.1
+
+    def test_transaction_waits_for_in_progress_install(self):
+        # An update install is never preempted by a transaction arrival.
+        sim = Simulation(tiny_config(), "TF")
+        result = sim.run_scripted(
+            updates=[update(0, arrival=1.0)],
+            transactions=[txn(0, arrival=1.0 + INSTALL / 2, compute=0.05)],
+        )
+        assert result.transactions_committed == 1
+        assert result.updates_applied == 1
+        obj = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        assert obj.install_time == pytest.approx(1.0 + INSTALL)
+
+    def test_fifo_installs_oldest_generation_first(self):
+        sim = Simulation(tiny_config(), "TF")
+        sim.run_scripted(
+            updates=[
+                update(0, arrival=1.0, object_id=0, age=0.1),   # gen 0.9
+                update(1, arrival=1.01, object_id=1, age=0.5),  # gen 0.51
+            ],
+            transactions=[txn(0, arrival=0.99, compute=0.1)],
+        )
+        first = sim.database.view_object(ObjectClass.VIEW_LOW, 1)
+        second = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        assert first.install_time < second.install_time
+
+    def test_lifo_installs_newest_generation_first(self):
+        config = tiny_config().with_system(queue_discipline=QueueDiscipline.LIFO)
+        sim = Simulation(config, "TF")
+        sim.run_scripted(
+            updates=[
+                update(0, arrival=1.0, object_id=0, age=0.1),
+                update(1, arrival=1.01, object_id=1, age=0.5),
+            ],
+            transactions=[txn(0, arrival=0.99, compute=0.1)],
+        )
+        first = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        second = sim.database.view_object(ObjectClass.VIEW_LOW, 1)
+        assert first.install_time < second.install_time
+
+    def test_os_queue_overflow_drops_updates(self):
+        config = tiny_config().with_system(os_queue_max=2)
+        sim = Simulation(config, "TF")
+        result = sim.run_scripted(
+            updates=[update(i, arrival=1.0 + i * 0.001, object_id=i % 4)
+                     for i in range(4)],
+            transactions=[txn(0, arrival=0.99, compute=0.1)],
+        )
+        assert result.updates_os_dropped == 2
+        assert result.updates_applied == 2
+
+    def test_update_queue_overflow_discards_oldest(self):
+        config = tiny_config().with_system(update_queue_max=2)
+        sim = Simulation(config, "TF")
+        result = sim.run_scripted(
+            updates=[update(i, arrival=1.0 + i * 0.001, object_id=i % 4)
+                     for i in range(3)],
+            transactions=[txn(0, arrival=0.99, compute=0.1)],
+        )
+        assert result.updates_overflowed == 1
+        assert result.updates_applied == 2
+
+    def test_expired_update_never_installed(self):
+        sim = Simulation(tiny_config(), "TF")
+        result = sim.run_scripted(
+            updates=[update(0, arrival=8.0, age=7.5)],  # generation 0.5 < 8 - 7
+            transactions=[txn(0, arrival=7.99, compute=0.1)],
+        )
+        assert result.updates_expired == 1
+        assert result.updates_applied == 0
+
+    def test_worthless_update_skipped_after_lookup(self):
+        sim = Simulation(tiny_config(), "TF")
+        result = sim.run_scripted(
+            updates=[
+                update(0, arrival=1.0, age=0.01),  # gen 0.99
+                update(1, arrival=1.5, age=1.4),   # gen 0.1 — older than installed
+            ],
+        )
+        assert result.updates_applied == 1
+        assert result.updates_skipped == 1
+
+
+class TestSplitUpdates:
+    def test_high_preempts_low_does_not(self):
+        sim = Simulation(tiny_config(), "SU")
+        result = sim.run_scripted(
+            updates=[
+                update(0, arrival=1.02, object_id=0, klass=ObjectClass.VIEW_LOW),
+                update(1, arrival=1.05, object_id=0, klass=ObjectClass.VIEW_HIGH),
+            ],
+            transactions=[txn(0, arrival=1.0, compute=0.1)],
+        )
+        assert result.preemptions == 1
+        high = sim.database.view_object(ObjectClass.VIEW_HIGH, 0)
+        low = sim.database.view_object(ObjectClass.VIEW_LOW, 0)
+        # High installed during the preemption window; low waited for idle.
+        assert high.install_time < 1.1
+        assert low.install_time >= 1.1
+        assert result.transactions_committed == 1
+
+
+class TestOnDemand:
+    def stale_read_setup(self, algorithm, config=None):
+        """A queued update exists for a stale object when a reader arrives."""
+        config = config or tiny_config()
+        sim = Simulation(config, algorithm)
+        blocker = txn(0, arrival=7.49, compute=0.7)  # busy 7.49 -> 8.19
+        reader = txn(1, arrival=8.0, compute=0.05, reads=(0,))
+        refresh = update(0, arrival=7.5, object_id=0, age=0.1)
+        result = sim.run_scripted(updates=[refresh], transactions=[blocker, reader])
+        return sim, result
+
+    def test_od_refreshes_stale_read_from_queue(self):
+        sim, result = self.stale_read_setup("OD")
+        assert result.stale_reads == 0
+        assert result.updates_on_demand_applied == 1
+        assert result.transactions_committed_fresh == 2
+
+    def test_tf_reads_stale_where_od_refreshes(self):
+        sim, result = self.stale_read_setup("TF")
+        assert result.stale_reads == 1
+        assert result.updates_on_demand_applied == 0
+
+    def test_od_aborts_only_without_applicable_update(self):
+        config = tiny_config().with_transactions(
+            stale_read_action=StaleReadAction.ABORT
+        )
+        # With an applicable queued update the transaction survives.
+        sim, result = self.stale_read_setup("OD", config)
+        assert result.transactions_aborted_stale == 0
+        # Without one (no update scripted) it aborts.
+        sim = Simulation(config, "OD")
+        result = sim.run_scripted(
+            transactions=[txn(0, arrival=8.0, compute=0.05, reads=(0,))]
+        )
+        assert result.transactions_aborted_stale == 1
+
+    def test_od_scan_counted(self):
+        sim, result = self.stale_read_setup("OD")
+        assert result.updates_on_demand_scans >= 1
+
+
+class TestStaleReadActions:
+    def stale_reader(self, action, algorithm="TF"):
+        config = tiny_config().with_transactions(stale_read_action=action)
+        sim = Simulation(config, algorithm)
+        # Object 0 is stale at t=8 (initial value generated at 0, alpha=7).
+        return sim.run_scripted(
+            transactions=[txn(0, arrival=8.0, compute=0.05, reads=(0,))]
+        )
+
+    def test_ignore_commits_with_stale_flag(self):
+        result = self.stale_reader(StaleReadAction.IGNORE)
+        assert result.transactions_committed == 1
+        assert result.transactions_committed_fresh == 0
+        assert result.stale_reads == 1
+
+    def test_warn_commits_and_flags(self):
+        result = self.stale_reader(StaleReadAction.WARN)
+        assert result.transactions_committed == 1
+        assert result.extras == {}  # warned count lives in the log
+        assert result.transactions_committed_fresh == 0
+
+    def test_abort_kills_the_transaction(self):
+        result = self.stale_reader(StaleReadAction.ABORT)
+        assert result.transactions_aborted_stale == 1
+        assert result.transactions_committed == 0
+        # A stale abort counts as not completing by the deadline.
+        assert result.p_md == 1.0
+
+
+class TestDeadlines:
+    def test_infeasible_transaction_aborted_at_scheduling_point(self):
+        sim = Simulation(tiny_config(), "TF")
+        # B's deadline (0.1 + 0.2 + 0.3 = 0.6) is still in the future when A
+        # finishes at 0.5, but B cannot fit 0.2s of work before it.
+        result = sim.run_scripted(
+            transactions=[
+                txn(0, arrival=0.0, compute=0.5, slack=1.0),
+                txn(1, arrival=0.1, compute=0.2, slack=0.3),
+            ],
+        )
+        assert result.transactions_infeasible == 1
+        assert result.transactions_committed == 1
+
+    def test_without_feasible_deadline_abort_happens_at_deadline(self):
+        config = tiny_config().with_system(feasible_deadline=False)
+        sim = Simulation(config, "TF")
+        result = sim.run_scripted(
+            transactions=[
+                txn(0, arrival=0.0, compute=0.5, slack=1.0),
+                txn(1, arrival=0.1, compute=0.2, slack=0.3),
+            ],
+        )
+        # B is allowed to start at 0.5 and dies at its deadline mid-run.
+        assert result.transactions_infeasible == 0
+        assert result.transactions_missed == 1
+
+    def test_deadline_fires_mid_preemption(self):
+        # UF: a storm of updates keeps preempting/starving the transaction
+        # until its firm deadline passes mid-flight.
+        sim = Simulation(tiny_config(), "UF")
+        storm = [update(i, arrival=1.02 + i * 0.0004, object_id=i % 4)
+                 for i in range(400)]
+        result = sim.run_scripted(
+            updates=storm,
+            transactions=[txn(0, arrival=1.0, compute=0.1, slack=0.02)],
+        )
+        assert result.transactions_missed == 1
+        assert result.preemptions >= 1
+
+    def test_value_density_picks_denser_transaction_first(self):
+        sim = Simulation(tiny_config(), "TF")
+        # A occupies the CPU; B and C queue up. C is 3x denser than B and
+        # only one of them can make the shared deadline window.
+        # B and C both have deadline 0.45; only the 0.3-0.4 slot fits one of
+        # them, and C's value density (30) beats B's (10).
+        result = sim.run_scripted(
+            transactions=[
+                txn(0, arrival=0.0, compute=0.3, slack=1.0, value=1.0),
+                txn(1, arrival=0.01, compute=0.1, slack=0.34, value=1.0),
+                txn(2, arrival=0.02, compute=0.1, slack=0.33, value=3.0),
+            ],
+        )
+        assert result.transactions_committed == 2
+        assert result.value_earned == pytest.approx(4.0)
+
+
+class TestTransactionPreemption:
+    def test_disabled_by_default(self):
+        sim = Simulation(tiny_config(), "TF")
+        result = sim.run_scripted(
+            transactions=[
+                txn(0, arrival=0.0, compute=0.3, value=0.1),
+                txn(1, arrival=0.05, compute=0.05, value=5.0),
+            ],
+        )
+        assert result.preemptions == 0
+
+    def test_enabled_preempts_lower_density(self):
+        config = tiny_config().with_system(transaction_preemption=True)
+        sim = Simulation(config, "TF")
+        result = sim.run_scripted(
+            transactions=[
+                txn(0, arrival=0.0, compute=0.3, value=0.1, slack=1.0),
+                txn(1, arrival=0.05, compute=0.05, value=5.0),
+            ],
+        )
+        assert result.preemptions == 1
+        assert result.transactions_committed == 2
+
+
+class TestUnappliedUpdateRuntime:
+    def test_uu_scan_is_the_staleness_check_for_od(self):
+        config = tiny_config(staleness=StalenessPolicy.UNAPPLIED_UPDATE)
+        sim = Simulation(config, "OD")
+        blocker = txn(0, arrival=1.0, compute=0.2)
+        reader = txn(1, arrival=1.05, compute=0.05, reads=(0,))
+        refresh = update(0, arrival=1.01, object_id=0)
+        result = sim.run_scripted(updates=[refresh], transactions=[blocker, reader])
+        # The queued update made object 0 UU-stale; OD applied it on read.
+        assert result.updates_on_demand_applied == 1
+        assert result.stale_reads == 0
+
+    def test_uf_is_never_stale_under_uu(self):
+        config = tiny_config(staleness=StalenessPolicy.UNAPPLIED_UPDATE)
+        sim = Simulation(config, "UF")
+        result = sim.run_scripted(
+            updates=[update(i, arrival=1.0 + 0.01 * i, object_id=i % 4)
+                     for i in range(10)],
+            transactions=[txn(0, arrival=2.0, compute=0.05, reads=(0, 1))],
+        )
+        assert result.fold_low == 0.0
+        assert result.stale_reads == 0

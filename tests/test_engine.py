@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(3.0, fired.append, "c")
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, fired.append, "b")
+    engine.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(1.0, fired.append, tag)
+    engine.run_until(2.0)
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_end_time():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run_until(5.0)
+    assert engine.now == 5.0
+
+
+def test_event_at_end_time_is_not_dispatched():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, fired.append, "x")
+    engine.run_until(5.0)
+    assert fired == []
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(1.0, fired.append, "x")
+    engine.schedule(2.0, fired.append, "y")
+    event.cancel()
+    engine.run_until(10.0)
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run_until(2.0)
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            engine.schedule(1.0, chain, n + 1)
+
+    engine.schedule(1.0, chain, 0)
+    engine.run_until(10.0)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    times = []
+
+    def outer():
+        engine.schedule(0.0, lambda: times.append(engine.now))
+
+    engine.schedule(2.0, outer)
+    engine.run_until(10.0)
+    assert times == [2.0]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run_until(6.0)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(3.0, lambda: None)
+
+
+def test_now_is_event_time_during_dispatch():
+    engine = Engine()
+    seen = []
+    engine.schedule(2.5, lambda: seen.append(engine.now))
+    engine.run_until(10.0)
+    assert seen == [2.5]
+
+
+def test_events_dispatched_counter():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1.0, lambda: None)
+    cancelled = engine.schedule(1.5, lambda: None)
+    cancelled.cancel()
+    engine.run_until(2.0)
+    assert engine.events_dispatched == 5
+
+
+def test_step_dispatches_one_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, fired.append, "b")
+    assert engine.step() is True
+    assert fired == ["a"]
+    assert engine.step() is True
+    assert engine.step() is False
+    assert fired == ["a", "b"]
+
+
+def test_pending_count_ignores_cancelled():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    event = engine.schedule(2.0, lambda: None)
+    event.cancel()
+    assert engine.pending_count() == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    engine = Engine()
+    head = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    head.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert Engine().peek_time() is None
+
+
+def test_run_until_reentrancy_guard():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run_until(100.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run_until(2.0)
+    assert len(errors) == 1
+
+
+def test_run_until_can_be_called_again_after_return():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(5.0, fired.append, "b")
+    engine.run_until(2.0)
+    assert fired == ["a"]
+    engine.run_until(6.0)
+    assert fired == ["a", "b"]

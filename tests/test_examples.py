@@ -1,0 +1,84 @@
+"""Smoke tests for every runnable example.
+
+Each example script is executed in-process (via runpy) with small
+durations, and its stdout is checked for the scenario's signature lines —
+so documentation drift or API breakage in examples/ fails the suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 6
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", "--seconds", "8")
+    assert "Table 1 - update stream" in out
+    assert "Baseline comparison" in out
+    for name in ("UF", "TF", "SU", "OD"):
+        assert name in out
+
+
+def test_program_trading(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "program_trading.py", "--seconds", "8"
+    )
+    assert "Program trading" in out
+    assert "stale aborts" in out
+    assert "Highest value per second" in out
+
+
+def test_plant_control(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "plant_control.py", "--seconds", "8")
+    assert "Plant control" in out
+    assert "red lights" in out
+
+
+def test_telecom_server(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "telecom_server.py", "--seconds", "8")
+    assert "Telecom server" in out
+    assert "p_success ranking" in out
+    # UF's UU hallmark must hold even at a tiny scale.
+    assert "UF stale fraction: 0.0000" in out
+
+
+def test_deterministic_replay(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "deterministic_replay.py")
+    assert "recorded" in out
+    assert "Identical recorded stream" in out
+
+
+def test_derived_analytics(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "derived_analytics.py", "--seconds", "12"
+    )
+    assert "mark-to-market" in out
+    assert "Historical view" in out
+    assert "versions recorded" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [path.name for path in sorted(EXAMPLES_DIR.glob("*.py"))],
+)
+def test_every_example_has_help(monkeypatch, capsys, script):
+    monkeypatch.setattr(sys, "argv", [script, "--help"])
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    assert excinfo.value.code == 0
+    assert "usage" in capsys.readouterr().out.lower()

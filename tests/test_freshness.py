@@ -1,0 +1,299 @@
+"""Tests for the exact staleness ledgers, including brute-force
+cross-validation with hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StalenessPolicy, baseline_config
+from repro.db.database import Database
+from repro.db.objects import ObjectClass, Update
+from repro.db.staleness import MaxAgeStaleness, UnappliedUpdateStaleness
+from repro.db.update_queue import UpdateQueue
+from repro.metrics.freshness import (
+    MaxAgeLedger,
+    SampledLedger,
+    UnappliedUpdateLedger,
+    make_ledger,
+)
+from repro.sim.engine import Engine
+
+LOW = ObjectClass.VIEW_LOW
+HIGH = ObjectClass.VIEW_HIGH
+
+
+def make_update(seq, generation, object_id=0, klass=LOW, arrival=None):
+    return Update(
+        seq,
+        klass,
+        object_id,
+        0.0,
+        generation,
+        generation + 0.1 if arrival is None else arrival,
+    )
+
+
+def wire_ma(n_low=1, n_high=1, max_age=5.0):
+    ledger = MaxAgeLedger(max_age)
+    database = Database(n_low, n_high, install_listener=ledger)
+    queue = UpdateQueue(16)
+    ledger.bind(database, queue)
+    return ledger, database, queue
+
+
+class TestMaxAgeLedger:
+    def test_never_updated_object_is_stale_after_alpha(self):
+        ledger, database, _ = wire_ma(max_age=5.0)
+        ledger.finalize(12.0)
+        # Object fresh on [0, 5], stale on [5, 12] -> 7 stale seconds.
+        assert ledger.stale_seconds[LOW] == pytest.approx(7.0)
+        assert ledger.stale_fraction(LOW, 12.0) == pytest.approx(7.0 / 12.0)
+
+    def test_install_before_expiry_leaves_no_stale_time(self):
+        ledger, database, _ = wire_ma(max_age=5.0)
+        database.install(make_update(0, generation=4.0), now=4.1)
+        database.install(make_update(1, generation=8.0), now=8.1)
+        ledger.finalize(12.0)
+        # Generations 0 -> 4 -> 8; each value replaced/alive within 5s.
+        assert ledger.stale_seconds[LOW] == pytest.approx(0.0)
+
+    def test_gap_between_expiry_and_refresh_counts(self):
+        ledger, database, _ = wire_ma(max_age=5.0)
+        # Initial value (gen 0) expires at 5; refreshed at t=9 with gen 8.9.
+        database.install(make_update(0, generation=8.9), now=9.0)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(4.0)
+
+    def test_update_already_stale_on_install(self):
+        ledger, database, _ = wire_ma(max_age=5.0)
+        # Installed at t=7 with generation 1: stale immediately after the
+        # install, plus [5, 7] from the initial value.
+        database.install(make_update(0, generation=1.0), now=7.0)
+        ledger.finalize(10.0)
+        # initial value stale [5,7] = 2; new value stale from max(7, 1+5)=7 to 10 = 3.
+        assert ledger.stale_seconds[LOW] == pytest.approx(5.0)
+
+    def test_partitions_accumulate_separately(self):
+        ledger, database, _ = wire_ma(n_low=2, n_high=1, max_age=5.0)
+        database.install(make_update(0, generation=6.0, klass=HIGH), now=6.1)
+        ledger.finalize(8.0)
+        # Low objects: both stale [5, 8] -> 6 total; high: refreshed at 6.1
+        # after being stale [5, 6.1].
+        assert ledger.stale_seconds[LOW] == pytest.approx(6.0)
+        assert ledger.stale_seconds[HIGH] == pytest.approx(1.1)
+
+    def test_stale_fraction_requires_finalize(self):
+        ledger, _, _ = wire_ma()
+        with pytest.raises(RuntimeError):
+            ledger.stale_fraction(LOW, 10.0)
+
+    def test_warmup_clips_intervals(self):
+        ledger, database, _ = wire_ma(max_age=5.0)
+        ledger.begin_measurement(6.0)
+        ledger.finalize(10.0)
+        # Without warmup this would be 5 stale seconds; with measurement
+        # starting at 6, only [6, 10] counts.
+        assert ledger.stale_seconds[LOW] == pytest.approx(4.0)
+
+    def test_arrival_variant_uses_arrival_timestamps(self):
+        ledger = MaxAgeLedger(5.0, use_arrival_time=True)
+        database = Database(1, 1, install_listener=ledger)
+        ledger.bind(database, UpdateQueue(4))
+        # Generation ancient but arrival recent: fresh under MA-arrival.
+        database.install(make_update(0, generation=1.0, arrival=6.0), now=6.0)
+        ledger.finalize(10.0)
+        # Initial value stale [5, 6]; new value arrival 6 + 5 = 11 > 10.
+        assert ledger.stale_seconds[LOW] == pytest.approx(1.0)
+
+
+class TestUnappliedUpdateLedger:
+    def wire(self):
+        ledger = UnappliedUpdateLedger()
+        database = Database(1, 1, install_listener=ledger)
+        queue = UpdateQueue(16, observer=ledger.on_queue_event)
+        ledger.bind(database, queue)
+        return ledger, database, queue
+
+    def test_no_queue_activity_means_no_staleness(self):
+        ledger, _, _ = self.wire()
+        ledger.finalize(100.0)
+        assert ledger.stale_seconds[LOW] == 0.0
+        assert ledger.stale_seconds[HIGH] == 0.0
+
+    def test_interval_opens_on_push_and_closes_on_pop(self):
+        ledger, database, queue = self.wire()
+        update = make_update(0, generation=2.0)
+        queue.push(update, now=2.1)
+        popped = queue.pop_next(lifo=False, now=5.1)
+        database.install(popped, now=5.1)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(3.0)
+
+    def test_straggler_does_not_open_interval(self):
+        ledger, database, queue = self.wire()
+        database.install(make_update(0, generation=5.0), now=5.0)
+        queue.push(make_update(1, generation=3.0), now=6.0)  # older than DB
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(0.0)
+
+    def test_install_of_newer_value_closes_interval(self):
+        ledger, database, queue = self.wire()
+        queue.push(make_update(0, generation=2.0), now=2.1)
+        # OD-style: a newer value is installed directly; the queued update
+        # becomes a worthless straggler and the object turns fresh.
+        database.install(make_update(1, generation=3.0), now=4.1)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(2.0)
+
+    def test_discard_closes_interval(self):
+        ledger, _, queue = self.wire()
+        queue.push(make_update(0, generation=2.0), now=2.0)
+        queue.expire_older_than(cutoff_generation=9.0, now=6.0)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(4.0)
+
+    def test_open_interval_closed_at_finalize(self):
+        ledger, _, queue = self.wire()
+        queue.push(make_update(0, generation=2.0), now=2.0)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(8.0)
+
+    def test_warmup_restarts_open_intervals(self):
+        ledger, _, queue = self.wire()
+        queue.push(make_update(0, generation=2.0), now=2.0)
+        ledger.begin_measurement(6.0)
+        ledger.finalize(10.0)
+        assert ledger.stale_seconds[LOW] == pytest.approx(4.0)
+
+
+class TestFactory:
+    def test_make_ledger_types(self):
+        engine = Engine()
+        queue = UpdateQueue(8)
+        for policy, cls in (
+            (StalenessPolicy.MAX_AGE, MaxAgeLedger),
+            (StalenessPolicy.MAX_AGE_ARRIVAL, MaxAgeLedger),
+            (StalenessPolicy.UNAPPLIED_UPDATE, UnappliedUpdateLedger),
+            (StalenessPolicy.COMBINED, SampledLedger),
+        ):
+            config = baseline_config().replace(staleness=policy)
+            from repro.db.staleness import make_staleness_checker
+
+            checker = make_staleness_checker(config, queue)
+            assert isinstance(make_ledger(config, engine, checker), cls)
+
+
+# ---------------------------------------------------------------------------
+# Property-based cross-validation against brute-force sampling
+# ---------------------------------------------------------------------------
+install_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=3.0),  # time gap to next install
+        st.integers(min_value=0, max_value=2),     # object id
+        st.floats(min_value=0.0, max_value=4.0),   # age of update at install
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+@given(install_events)
+@settings(max_examples=60, deadline=None)
+def test_ma_ledger_matches_brute_force_integration(events):
+    """The lazy per-install ledger must equal a direct piecewise integral
+    computed from the object states *between* the same events."""
+    max_age = 2.5
+    ledger = MaxAgeLedger(max_age)
+    database = Database(3, 1, install_listener=ledger)
+    ledger.bind(database, UpdateQueue(4))
+
+    def stale_within(a, b):
+        # Under MA each value is stale exactly on [generation + alpha, inf);
+        # integrate that over [a, b] with the *current* (pre-next-install)
+        # generations.
+        total = 0.0
+        for obj in database.low:
+            start = max(a, obj.generation_time + max_age)
+            if b > start:
+                total += b - start
+        return total
+
+    now = 0.0
+    expected = 0.0
+    for seq, (gap, object_id, age) in enumerate(events):
+        expected += stale_within(now, now + gap)
+        now += gap
+        generation = max(0.0, now - age)
+        database.install(
+            make_update(seq, generation=generation, object_id=object_id,
+                        arrival=now),
+            now,
+        )
+    end = now + 4.0
+    expected += stale_within(now, end)
+    ledger.finalize(end)
+    assert ledger.stale_seconds[LOW] == pytest.approx(expected, abs=1e-9)
+
+
+queue_ops = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=1.5),  # time gap
+        st.sampled_from(["push", "pop", "install", "expire"]),
+        st.integers(min_value=0, max_value=2),     # object id
+        st.floats(min_value=0.0, max_value=2.0),   # update age
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+@given(queue_ops)
+@settings(max_examples=60, deadline=None)
+def test_uu_ledger_matches_event_replay(ops):
+    """Replay random queue/install traffic; the ledger's integral must equal
+    an independent piecewise reconstruction from checker snapshots."""
+    ledger = UnappliedUpdateLedger()
+    database = Database(3, 1, install_listener=ledger)
+    queue = UpdateQueue(8, observer=ledger.on_queue_event)
+    ledger.bind(database, queue)
+    checker = UnappliedUpdateStaleness(queue)
+
+    now = 0.0
+    seq = 0
+    expected = 0.0
+    last_time = 0.0
+
+    def stale_count():
+        return sum(1 for obj in database.low if checker.is_stale(obj, now))
+
+    current_stale = 0
+    for gap, op, object_id, age in ops:
+        now += gap
+        expected += current_stale * (now - last_time)
+        last_time = now
+        if op == "push":
+            queue.push(
+                make_update(seq, generation=max(0.0, now - age),
+                            object_id=object_id, arrival=now),
+                now,
+            )
+            seq += 1
+        elif op == "pop":
+            popped = queue.pop_next(lifo=False, now=now)
+            if popped is not None:
+                database.install(popped, now)
+        elif op == "install":
+            database.install(
+                make_update(seq, generation=max(0.0, now - age),
+                            object_id=object_id, arrival=now),
+                now,
+            )
+            seq += 1
+        elif op == "expire":
+            queue.expire_older_than(now - 1.0, now)
+        current_stale = stale_count()
+
+    end = now + 1.0
+    expected += current_stale * (end - last_time)
+    ledger.finalize(end)
+    assert ledger.stale_seconds[LOW] == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,133 @@
+"""Tests for the historical-views extension (paper section 7 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation
+from repro.db.database import Database
+from repro.db.history import HistoryStore
+from repro.db.objects import ObjectClass, Update
+
+KEY = (ObjectClass.VIEW_LOW, 0)
+
+
+def make_update(seq, generation, object_id=0, value=None):
+    return Update(
+        seq, ObjectClass.VIEW_LOW, object_id,
+        float(seq) if value is None else value,
+        generation, generation + 0.1,
+    )
+
+
+class TestHistoryStore:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            HistoryStore(0)
+
+    def test_record_and_versions(self):
+        store = HistoryStore(4)
+        store.record(KEY, 1.0, generation_time=1.0, install_time=1.1)
+        store.record(KEY, 2.0, generation_time=2.0, install_time=2.1)
+        versions = store.versions(KEY)
+        assert [v.value for v in versions] == [1.0, 2.0]
+        assert store.version_count(KEY) == 2
+        assert store.recorded == 2
+        assert store.objects_tracked() == 1
+
+    def test_ring_buffer_evicts_oldest(self):
+        store = HistoryStore(2)
+        for i in range(4):
+            store.record(KEY, float(i), generation_time=float(i), install_time=i + 0.1)
+        versions = store.versions(KEY)
+        assert [v.value for v in versions] == [2.0, 3.0]
+        assert store.evicted == 2
+
+    def test_as_of_lookup(self):
+        store = HistoryStore(8)
+        for generation in (1.0, 3.0, 5.0):
+            store.record(KEY, generation * 10, generation, generation + 0.1)
+        assert store.value_as_of(KEY, 0.5) is None
+        assert store.value_as_of(KEY, 1.0).value == 10.0
+        assert store.value_as_of(KEY, 4.9).value == 30.0
+        assert store.value_as_of(KEY, 100.0).value == 50.0
+
+    def test_as_of_unknown_object(self):
+        assert HistoryStore(2).value_as_of(KEY, 5.0) is None
+
+    def test_iteration_over_tracked_objects(self):
+        store = HistoryStore(2)
+        other = (ObjectClass.VIEW_HIGH, 3)
+        store.record(KEY, 1.0, 1.0, 1.1)
+        store.record(other, 2.0, 2.0, 2.1)
+        assert set(store) == {KEY, other}
+
+
+class TestDatabaseIntegration:
+    def test_disabled_by_default(self):
+        database = Database(2, 2)
+        assert database.history is None
+
+    def test_installs_recorded_when_enabled(self):
+        database = Database(2, 2, history_depth=4)
+        database.install(make_update(0, generation=1.0), now=1.1)
+        database.install(make_update(1, generation=2.0), now=2.1)
+        assert database.history.version_count(KEY) == 2
+        as_of = database.history.value_as_of(KEY, 1.5)
+        assert as_of.generation_time == 1.0
+
+    def test_skipped_updates_not_recorded(self):
+        database = Database(2, 2, history_depth=4)
+        database.install(make_update(0, generation=5.0), now=5.1)
+        database.install(make_update(1, generation=1.0), now=6.0)  # skipped
+        assert database.history.version_count(KEY) == 1
+
+    def test_generations_strictly_increasing(self):
+        database = Database(2, 2, history_depth=16)
+        for seq, generation in enumerate((1.0, 0.5, 2.0, 1.5, 3.0)):
+            database.install(make_update(seq, generation), now=seq + 4.0)
+        generations = [v.generation_time for v in database.history.versions(KEY)]
+        assert generations == sorted(generations)
+        assert len(generations) == len(set(generations))
+
+    def test_full_simulation_with_history(self):
+        config = baseline_config(duration=5.0).with_updates(
+            arrival_rate=100.0, n_low=20, n_high=20
+        ).with_system(history_depth=8)
+        from repro.core.simulator import Simulation
+
+        sim = Simulation(config, "UF")
+        result = sim.run()
+        history = sim.database.history
+        assert history is not None
+        assert history.recorded == result.updates_applied
+        assert history.objects_tracked() > 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),  # generation
+            st.floats(min_value=0.0, max_value=10.0),  # as-of probe
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_as_of_matches_linear_scan(pairs):
+    """Bisect-based as-of lookups must agree with a naive linear scan."""
+    store = HistoryStore(64)
+    database = Database(1, 1, history_depth=64)
+    for seq, (generation, _) in enumerate(pairs):
+        database.install(make_update(seq, generation), now=20.0 + seq)
+    store = database.history
+    versions = store.versions(KEY)
+    for _, probe in pairs:
+        expected = None
+        for version in versions:
+            if version.generation_time <= probe:
+                expected = version
+        actual = store.value_as_of(KEY, probe)
+        assert actual is expected

@@ -1,0 +1,94 @@
+"""System-level cross-validation of the exact staleness ledgers.
+
+Runs full simulations twice — once with the exact ledger, once with a
+fine-grained :class:`~repro.metrics.freshness.SampledLedger` attached to
+the same checker — and requires the fold metrics to agree within the
+sampling resolution.  This catches any divergence between the analytic
+bookkeeping and what the checker actually reports at run time.
+"""
+
+import pytest
+
+from repro.config import StalenessPolicy, baseline_config
+from repro.core.simulator import Simulation
+from repro.db.objects import ObjectClass
+from repro.metrics.freshness import SampledLedger
+
+
+def run_with_sampling(config, algorithm, interval=0.02):
+    """Run a simulation with an additional sampling probe attached."""
+    sim = Simulation(config, algorithm)
+    probe = SampledLedger(
+        sim.checker, sim.engine, interval=interval, end_time=config.duration
+    )
+    probe.bind(sim.database, sim.update_queue)
+    probe.start()
+    result = sim.run()
+    probe.finalize(config.duration)
+    return sim, result, probe
+
+
+@pytest.mark.parametrize("algorithm", ["UF", "TF", "SU", "OD"])
+@pytest.mark.parametrize(
+    "policy",
+    [
+        StalenessPolicy.MAX_AGE,
+        StalenessPolicy.MAX_AGE_ARRIVAL,
+        StalenessPolicy.UNAPPLIED_UPDATE,
+    ],
+)
+def test_exact_ledger_agrees_with_dense_sampling(algorithm, policy):
+    config = baseline_config(duration=6.0, staleness=policy).with_updates(
+        arrival_rate=80.0, n_low=25, n_high=25
+    ).with_transactions(arrival_rate=15.0, max_age=1.5)
+    sim, result, probe = run_with_sampling(config, algorithm)
+    for klass, exact in (
+        (ObjectClass.VIEW_LOW, result.fold_low),
+        (ObjectClass.VIEW_HIGH, result.fold_high),
+    ):
+        sampled = probe.stale_fraction(klass, config.duration)
+        # Rectangle-rule error is bounded by interval * transition rate;
+        # at these rates a generous absolute tolerance suffices.
+        assert exact == pytest.approx(sampled, abs=0.03), (
+            f"{algorithm}/{policy.value}/{klass.value}: "
+            f"exact {exact:.4f} vs sampled {sampled:.4f}"
+        )
+
+
+def test_combined_policy_upper_bounds_its_parts():
+    """COMBINED staleness is the union of MA and UU: its fold must be at
+    least each individual definition's fold on the same run."""
+    base = baseline_config(duration=6.0).with_updates(
+        arrival_rate=80.0, n_low=25, n_high=25
+    ).with_transactions(arrival_rate=20.0, max_age=1.5)
+
+    folds = {}
+    for policy in (
+        StalenessPolicy.MAX_AGE,
+        StalenessPolicy.UNAPPLIED_UPDATE,
+        StalenessPolicy.COMBINED,
+    ):
+        result = Simulation(base.replace(staleness=policy), "TF").run()
+        folds[policy] = result.fold_low
+    # Sampling noise on the COMBINED ledger warrants a small tolerance.
+    assert folds[StalenessPolicy.COMBINED] >= folds[StalenessPolicy.MAX_AGE] - 0.03
+    assert (
+        folds[StalenessPolicy.COMBINED]
+        >= folds[StalenessPolicy.UNAPPLIED_UPDATE] - 0.03
+    )
+
+
+def test_ma_arrival_is_fresher_than_ma_generation():
+    """Under MA-arrival the clock starts at RTDB arrival (later than the
+    generation timestamp), so data can only look fresher, never staler."""
+    base = baseline_config(duration=6.0).with_updates(
+        arrival_rate=80.0, n_low=25, n_high=25, mean_age=0.5
+    ).with_transactions(arrival_rate=20.0, max_age=1.0)
+    by_generation = Simulation(
+        base.replace(staleness=StalenessPolicy.MAX_AGE), "TF"
+    ).run()
+    by_arrival = Simulation(
+        base.replace(staleness=StalenessPolicy.MAX_AGE_ARRIVAL), "TF"
+    ).run()
+    assert by_arrival.fold_low <= by_generation.fold_low + 1e-9
+    assert by_arrival.fold_high <= by_generation.fold_high + 1e-9

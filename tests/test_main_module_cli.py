@@ -1,0 +1,39 @@
+"""Tests for the experiments CLI output options."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.figures import clear_sweep_cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def test_output_file_written(tmp_path, capsys):
+    report = tmp_path / "report.txt"
+    exit_code = main(["--figure", "A2", "--output", str(report)])
+    assert exit_code == 0
+    text = report.read_text()
+    assert "Figure A2" in text
+    assert "all shape checks passed" in text
+    assert f"[report written to {report}]" in capsys.readouterr().out
+
+
+def test_charts_flag_renders_ascii(capsys):
+    exit_code = main(["--figure", "A2", "--charts"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+
+
+def test_multiple_figures(capsys):
+    exit_code = main(["--figure", "A2", "--figure", "A2"])
+    assert exit_code == 0
+    # Cached: the second build is free but still printed.
+    assert capsys.readouterr().out.count("Figure A2") == 2

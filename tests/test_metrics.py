@@ -1,0 +1,153 @@
+"""Unit tests for the metric collectors, results, and reporting."""
+
+import pytest
+
+from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
+from repro.metrics.report import format_result, format_table
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation
+
+
+class TestTransactionLog:
+    def test_outcome_buckets(self):
+        log = TransactionLog()
+        log.note_arrival(1.0)
+        log.note_arrival(2.0)
+        log.note_arrival(3.0)
+        log.note_arrival(0.5)
+        log.note_commit(1.0, read_stale=False, warned=False, high_value=False)
+        log.note_commit(2.0, read_stale=True, warned=True, high_value=True)
+        log.note_missed_deadline(infeasible=True)
+        log.note_stale_abort()
+        assert log.arrived == 4
+        assert log.committed == 2
+        assert log.committed_fresh == 1
+        assert log.committed_warned == 1
+        assert log.committed_low == 1
+        assert log.committed_high == 1
+        assert log.missed_deadline == 1
+        assert log.infeasible_aborts == 1
+        assert log.aborted_stale == 1
+        assert log.finished == 4
+        assert log.in_flight == 0
+        assert log.value_earned == pytest.approx(3.0)
+        assert log.value_offered == pytest.approx(6.5)
+
+    def test_view_read_accounting(self):
+        log = TransactionLog()
+        log.note_view_read(stale=False)
+        log.note_view_read(stale=True)
+        assert log.view_reads == 2
+        assert log.stale_reads == 1
+
+    def test_reset_recounts_live_transactions(self):
+        log = TransactionLog()
+        for _ in range(5):
+            log.note_arrival(1.0)
+        log.note_commit(1.0, False, False, False)
+        log.reset(live_transactions=4)
+        assert log.arrived == 4
+        assert log.committed == 0
+        assert log.in_flight == 4
+
+
+class TestUpdateAccounting:
+    def test_counters(self):
+        acct = UpdateAccounting()
+        acct.note_arrival()
+        acct.note_received(3)
+        acct.note_enqueued(2)
+        acct.note_installed(applied=True)
+        acct.note_installed(applied=False)
+        acct.note_on_demand(applied=True)
+        acct.note_on_demand(applied=False)
+        assert acct.arrived == 1
+        assert acct.received == 3
+        assert acct.enqueued == 2
+        assert acct.installed_applied == 1
+        assert acct.installed_skipped == 1
+        assert acct.on_demand_applied == 1
+        assert acct.on_demand_scans == 2
+
+    def test_queue_length_mean(self):
+        acct = UpdateAccounting()
+        assert acct.mean_queue_length == 0.0
+        acct.sample_queue_length(10)
+        acct.sample_queue_length(20)
+        assert acct.mean_queue_length == pytest.approx(15.0)
+
+    def test_reset_recounts_pending(self):
+        acct = UpdateAccounting()
+        for _ in range(10):
+            acct.note_arrival()
+        acct.reset(pending_updates=3)
+        assert acct.arrived == 3
+        assert acct.received == 0
+
+
+class TestCpuAccounting:
+    def test_charge_and_utilization(self):
+        cpu = CpuAccounting()
+        cpu.charge(CpuAccounting.TRANSACTION, 3.0)
+        cpu.charge(CpuAccounting.UPDATE, 1.0)
+        rho_t, rho_u = cpu.utilization(10.0)
+        assert rho_t == pytest.approx(0.3)
+        assert rho_u == pytest.approx(0.1)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccounting().charge(CpuAccounting.UPDATE, -0.1)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccounting().utilization(0.0)
+
+    def test_switch_and_preemption_counters(self):
+        cpu = CpuAccounting()
+        cpu.note_context_switch()
+        cpu.note_preemption()
+        cpu.note_preemption()
+        assert cpu.context_switches == 1
+        assert cpu.preemptions == 2
+        cpu.reset()
+        assert cpu.preemptions == 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("x", "value"),
+            [(1, 0.5), (10, 1.25)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.5000" in text
+        assert "1.2500" in text
+        # Header and rows align right.
+        assert lines[1].endswith("value")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_result_contains_headline_metrics(self):
+        config = baseline_config(duration=5.0).with_updates(
+            arrival_rate=50.0, n_low=20, n_high=20
+        )
+        result = run_simulation(config, "OD")
+        text = format_result(result)
+        assert "p_MD" in text
+        assert "fold_low" in text
+        assert "OD under ma" in text
+
+    def test_result_helpers(self):
+        config = baseline_config(duration=5.0).with_updates(
+            arrival_rate=50.0, n_low=20, n_high=20
+        )
+        result = run_simulation(config, "TF")
+        assert result.rho_total == pytest.approx(
+            result.rho_transactions + result.rho_updates
+        )
+        assert 0.0 <= result.fraction_stale_reads <= 1.0
+        assert result.algorithm in result.summary()

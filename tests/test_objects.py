@@ -1,0 +1,87 @@
+"""Unit tests for data objects and update records."""
+
+import pytest
+
+from repro.db.objects import DataObject, ObjectClass, Update
+
+
+def test_object_class_view_flags():
+    assert ObjectClass.VIEW_LOW.is_view
+    assert ObjectClass.VIEW_HIGH.is_view
+    assert not ObjectClass.GENERAL.is_view
+
+
+def test_new_object_starts_at_time_zero():
+    obj = DataObject(ObjectClass.VIEW_LOW, 3)
+    assert obj.generation_time == 0.0
+    assert obj.install_time == 0.0
+    assert obj.installs == 0
+    assert obj.key == (ObjectClass.VIEW_LOW, 3)
+
+
+def test_age():
+    obj = DataObject(ObjectClass.VIEW_LOW, 0)
+    obj.apply_full(1.0, generation=4.0, arrival=4.5, now=5.0)
+    assert obj.age(10.0) == pytest.approx(6.0)
+
+
+def test_apply_full_updates_all_bookkeeping():
+    obj = DataObject(ObjectClass.VIEW_HIGH, 0)
+    obj.apply_full(42.0, generation=1.0, arrival=1.2, now=1.5)
+    assert obj.value == 42.0
+    assert obj.generation_time == 1.0
+    assert obj.arrival_time == 1.2
+    assert obj.install_time == 1.5
+    assert obj.installs == 1
+
+
+def test_single_attribute_object_has_no_attribute_vector():
+    obj = DataObject(ObjectClass.VIEW_LOW, 0, attribute_count=1)
+    assert obj.attribute_generations is None
+
+
+def test_attribute_count_validation():
+    with pytest.raises(ValueError):
+        DataObject(ObjectClass.VIEW_LOW, 0, attribute_count=0)
+
+
+def test_partial_update_effective_generation_is_minimum():
+    obj = DataObject(ObjectClass.VIEW_LOW, 0, attribute_count=3)
+    obj.apply_partial(1.0, generation=5.0, arrival=5.1, now=5.2, attribute=0)
+    # Attributes 1 and 2 still have generation 0, so the object is only as
+    # fresh as its stalest attribute.
+    assert obj.generation_time == 0.0
+    obj.apply_partial(2.0, generation=6.0, arrival=6.1, now=6.2, attribute=1)
+    assert obj.generation_time == 0.0
+    obj.apply_partial(3.0, generation=7.0, arrival=7.1, now=7.2, attribute=2)
+    assert obj.generation_time == 5.0
+
+
+def test_full_update_resets_every_attribute():
+    obj = DataObject(ObjectClass.VIEW_LOW, 0, attribute_count=3)
+    obj.apply_full(1.0, generation=9.0, arrival=9.1, now=9.2)
+    assert obj.generation_time == 9.0
+    assert obj.attribute_generations == [9.0, 9.0, 9.0]
+
+
+def test_partial_on_single_attribute_degrades_to_full():
+    obj = DataObject(ObjectClass.VIEW_LOW, 0, attribute_count=1)
+    obj.apply_partial(1.0, generation=3.0, arrival=3.1, now=3.2, attribute=0)
+    assert obj.generation_time == 3.0
+
+
+def test_update_requires_view_class():
+    with pytest.raises(ValueError):
+        Update(0, ObjectClass.GENERAL, 0, 1.0, 0.0, 0.1)
+
+
+def test_update_arrival_before_generation_rejected():
+    with pytest.raises(ValueError):
+        Update(0, ObjectClass.VIEW_LOW, 0, 1.0, generation_time=2.0, arrival_time=1.0)
+
+
+def test_update_ages():
+    update = Update(0, ObjectClass.VIEW_LOW, 5, 1.0, generation_time=2.0, arrival_time=2.5)
+    assert update.transit_age() == pytest.approx(0.5)
+    assert update.age(4.0) == pytest.approx(2.0)
+    assert update.key == (ObjectClass.VIEW_LOW, 5)

@@ -1,0 +1,107 @@
+"""Unit tests for the per-importance partitioned update queue (TF-SPLIT)."""
+
+import pytest
+
+from repro.db.objects import ObjectClass, Update
+from repro.db.update_queue import PartitionedUpdateQueue
+
+
+def make_update(seq, generation, klass, object_id=0):
+    return Update(
+        seq, klass, object_id, float(seq), generation, generation + 0.1
+    )
+
+
+def low(seq, generation, object_id=0):
+    return make_update(seq, generation, ObjectClass.VIEW_LOW, object_id)
+
+
+def high(seq, generation, object_id=0):
+    return make_update(seq, generation, ObjectClass.VIEW_HIGH, object_id)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PartitionedUpdateQueue(1)
+
+
+def test_pop_serves_high_importance_first():
+    queue = PartitionedUpdateQueue(10)
+    queue.push(low(0, 1.0), 2.0)
+    queue.push(high(1, 5.0), 6.0)
+    queue.push(low(2, 0.5), 2.0)
+    assert queue.pop_next(lifo=False, now=6.0).klass is ObjectClass.VIEW_HIGH
+    assert queue.pop_next(lifo=False, now=6.0).generation_time == 0.5
+
+
+def test_length_sums_both_partitions():
+    queue = PartitionedUpdateQueue(10)
+    assert not queue
+    queue.push(low(0, 1.0), 2.0)
+    queue.push(high(1, 1.0), 2.0)
+    assert len(queue) == 2
+    assert bool(queue)
+
+
+def test_iteration_covers_both_partitions():
+    queue = PartitionedUpdateQueue(10)
+    queue.push(low(0, 1.0), 2.0)
+    queue.push(high(1, 2.0), 3.0)
+    assert {u.seq for u in queue} == {0, 1}
+
+
+def test_newest_for_routes_by_class():
+    queue = PartitionedUpdateQueue(10)
+    queue.push(low(0, 1.0, object_id=3), 2.0)
+    queue.push(high(1, 9.0, object_id=3), 9.5)
+    assert queue.newest_for((ObjectClass.VIEW_LOW, 3)).seq == 0
+    assert queue.newest_generation_for((ObjectClass.VIEW_HIGH, 3)) == 9.0
+    assert queue.pending_for((ObjectClass.VIEW_LOW, 3)) == 1
+
+
+def test_expire_covers_both_partitions():
+    queue = PartitionedUpdateQueue(10)
+    queue.push(low(0, 1.0), 9.0)
+    queue.push(high(1, 1.5), 9.0)
+    queue.push(high(2, 8.0), 9.0)
+    expired = queue.expire_older_than(5.0, 9.0)
+    assert {u.seq for u in expired} == {0, 1}
+    assert queue.expired_discards == 2
+
+
+def test_remove_routes_by_class():
+    queue = PartitionedUpdateQueue(10)
+    target = high(0, 1.0)
+    queue.push(target, 2.0)
+    queue.remove(target, 2.0)
+    assert len(queue) == 0
+
+
+def test_observer_installed_on_both_halves():
+    events = []
+    queue = PartitionedUpdateQueue(10)
+    queue.observer = lambda key, now: events.append(key)
+    queue.push(low(0, 1.0), 2.0)
+    queue.push(high(1, 1.0), 2.0)
+    assert (ObjectClass.VIEW_LOW, 0) in events
+    assert (ObjectClass.VIEW_HIGH, 0) in events
+
+
+def test_capacity_split_and_overflow_counters():
+    queue = PartitionedUpdateQueue(4)  # 2 per half
+    for seq in range(3):
+        queue.push(low(seq, float(seq)), 5.0)
+    assert queue.overflow_discards == 1
+    assert len(queue.low) == 2
+    assert len(queue.high) == 0
+    queue.reset_counters()
+    assert queue.overflow_discards == 0
+
+
+def test_aggregated_counters():
+    queue = PartitionedUpdateQueue(10)
+    queue.push(low(0, 1.0), 2.0)
+    queue.push(high(1, 1.0), 2.0)
+    assert queue.total_pushed == 2
+    assert queue.superseded_discards == 0
+    assert queue.expired_discards == 0

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.figures import Figure, Panel
+from repro.experiments.plots import render_chart, render_figure, render_panel
+
+
+def simple_columns():
+    return {
+        "TF": [(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)],
+        "UF": [(0.0, 1.0), (5.0, 0.5), (10.0, 0.0)],
+    }
+
+
+def test_render_chart_contains_legend_and_axes():
+    text = render_chart(simple_columns(), x_label="lambda_t", title="demo")
+    assert text.splitlines()[0] == "demo"
+    assert "legend: +=TF  x=UF" in text
+    assert "lambda_t" in text
+    assert "+" in text and "x" in text
+
+
+def test_y_axis_labels_reflect_range():
+    text = render_chart(simple_columns())
+    assert "1" in text.splitlines()[1 + 0]  # top label row (no title)
+    assert any(line.lstrip().startswith("0 |") for line in text.splitlines())
+
+
+def test_marker_positions_monotone_series():
+    text = render_chart({"up": [(0, 0), (1, 1)]}, width=10, height=5)
+    rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+    # The increasing series puts its first point bottom-left and last
+    # point top-right.
+    assert rows[0].rstrip().endswith("+")
+    assert rows[-1].startswith("+")
+
+
+def test_flat_series_does_not_crash():
+    text = render_chart({"flat": [(0, 0.5), (1, 0.5), (2, 0.5)]})
+    assert "flat" in text
+
+
+def test_single_point():
+    text = render_chart({"dot": [(1.0, 1.0)]})
+    assert "+" in text
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        render_chart(simple_columns(), width=4)
+    with pytest.raises(ValueError):
+        render_chart(simple_columns(), height=2)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        render_chart({})
+    with pytest.raises(ValueError):
+        render_chart({"empty": []})
+
+
+def test_render_panel_and_figure():
+    panel = Panel(name="p", x_label="x", columns=simple_columns())
+    assert "p" in render_panel(panel)
+    figure = Figure("X", "t", panels=[panel, panel])
+    rendered = render_figure(figure)
+    assert rendered.count("legend:") == 2
+
+
+def test_many_series_cycle_markers():
+    columns = {f"s{i}": [(0, i), (1, i + 1)] for i in range(10)}
+    text = render_chart(columns)
+    assert "legend:" in text

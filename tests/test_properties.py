@@ -1,0 +1,99 @@
+"""Property-based invariants over randomized configurations.
+
+Hypothesis drives short end-to-end simulations with random (but valid)
+parameters and checks the conservation laws and metric bounds that must
+hold for *every* configuration and algorithm.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    QueueDiscipline,
+    StaleReadAction,
+    StalenessPolicy,
+    baseline_config,
+)
+from repro.core.simulator import run_simulation
+
+configs = st.fixed_dictionaries(
+    {
+        "algorithm": st.sampled_from(["UF", "TF", "SU", "OD", "FX", "TF-SPLIT"]),
+        "staleness": st.sampled_from(
+            [StalenessPolicy.MAX_AGE, StalenessPolicy.UNAPPLIED_UPDATE]
+        ),
+        "stale_action": st.sampled_from(list(StaleReadAction)),
+        "discipline": st.sampled_from(list(QueueDiscipline)),
+        "lambda_u": st.floats(min_value=20.0, max_value=300.0),
+        "lambda_t": st.floats(min_value=1.0, max_value=30.0),
+        "max_age": st.floats(min_value=0.5, max_value=5.0),
+        "seed": st.integers(min_value=0, max_value=2**20),
+        "uq_max": st.integers(min_value=4, max_value=200),
+        "os_max": st.integers(min_value=2, max_value=100),
+        "x_scan": st.sampled_from([0, 100, 1000]),
+        "x_queue": st.sampled_from([0, 50]),
+        "indexed": st.booleans(),
+        "preemption": st.booleans(),
+        "feasible": st.booleans(),
+    }
+)
+
+
+@given(configs)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_invariants_hold_for_random_configurations(params):
+    config = (
+        baseline_config(duration=4.0, seed=params["seed"])
+        .with_updates(arrival_rate=params["lambda_u"], n_low=30, n_high=30)
+        .with_transactions(
+            arrival_rate=params["lambda_t"],
+            max_age=params["max_age"],
+            stale_read_action=params["stale_action"],
+        )
+        .with_system(
+            update_queue_max=params["uq_max"],
+            os_queue_max=params["os_max"],
+            x_scan=params["x_scan"],
+            x_queue=params["x_queue"],
+            indexed_update_queue=params["indexed"],
+            transaction_preemption=params["preemption"],
+            feasible_deadline=params["feasible"],
+            queue_discipline=params["discipline"],
+        )
+        .replace(staleness=params["staleness"])
+    )
+    result = run_simulation(config, params["algorithm"])
+
+    # The full invariant battery: conservation laws, probability bounds,
+    # and cross-metric consistency (see repro.metrics.validate).
+    from repro.metrics.validate import assert_invariants
+
+    assert_invariants(result)
+
+
+@given(st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_determinism_for_any_seed(seed):
+    config = baseline_config(duration=3.0, seed=seed).with_updates(
+        arrival_rate=50.0, n_low=20, n_high=20
+    )
+    assert run_simulation(config, "OD") == run_simulation(config, "OD")
+
+
+@given(
+    st.sampled_from(["UF", "TF", "SU", "OD"]),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_workload_identical_across_algorithms(algorithm, seed):
+    """Common random numbers: arrivals never depend on the policy."""
+    config = baseline_config(duration=3.0, seed=seed).with_updates(
+        arrival_rate=50.0, n_low=20, n_high=20
+    )
+    reference = run_simulation(config, "TF")
+    other = run_simulation(config, algorithm)
+    assert other.updates_arrived == reference.updates_arrived
+    assert other.transactions_arrived == reference.transactions_arrived
+    assert other.value_offered == pytest.approx(reference.value_offered)

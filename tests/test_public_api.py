@@ -1,0 +1,52 @@
+"""Tests for the package's public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_flow():
+    """The flow in the package docstring must actually work."""
+    config = repro.baseline_config(duration=3.0).with_updates(
+        arrival_rate=40.0, n_low=10, n_high=10
+    )
+    lines = [
+        repro.run_simulation(config, name).summary()
+        for name in ("UF", "TF", "SU", "OD")
+    ]
+    assert len(lines) == 4
+    assert all("pMD=" in line for line in lines)
+
+
+def test_algorithms_registry_exported():
+    assert set(repro.ALGORITHMS) >= {"UF", "TF", "SU", "OD"}
+
+
+def test_simulation_class_exported():
+    sim = repro.Simulation(
+        repro.baseline_config(duration=2.0).with_updates(
+            arrival_rate=20.0, n_low=5, n_high=5
+        ),
+        "TF",
+    )
+    result = sim.run()
+    assert isinstance(result, repro.SimulationResult)
+
+
+def test_enums_exported():
+    assert repro.StalenessPolicy.MAX_AGE.value == "ma"
+    assert repro.QueueDiscipline.LIFO.value == "lifo"
+    assert repro.StaleReadAction.ABORT.value == "abort"
+    assert repro.UpdatePattern.PERIODIC.value == "periodic"
+
+
+def test_format_helpers_exported():
+    table = repro.format_table(("a",), [(1,)])
+    assert "a" in table

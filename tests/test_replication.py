@@ -1,0 +1,96 @@
+"""Tests for replicated runs and summary statistics."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.experiments.replication import (
+    MetricSummary,
+    compare_algorithms,
+    run_replicated,
+    summarize,
+    t_quantile_975,
+)
+
+
+def tiny_config():
+    return baseline_config(duration=3.0).with_updates(
+        arrival_rate=50.0, n_low=20, n_high=20
+    )
+
+
+class TestSummaryMath:
+    def test_summarize_single_sample(self):
+        summary = summarize("x", [2.0])
+        assert summary.mean == 2.0
+        assert summary.stdev == 0.0
+        assert summary.ci_halfwidth == 0.0
+        assert summary.samples == 1
+
+    def test_summarize_known_values(self):
+        summary = summarize("x", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+        # t(0.975, df=2) = 4.303 -> halfwidth = 4.303 / sqrt(3)
+        assert summary.ci_halfwidth == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", [])
+
+    def test_t_quantiles(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(30) == pytest.approx(2.042)
+        assert t_quantile_975(500) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t_quantile_975(0)
+
+    def test_str_rendering(self):
+        text = str(summarize("p_md", [0.1, 0.2]))
+        assert "p_md" in text and "±" in text
+
+
+class TestReplication:
+    def test_replication_count_validated(self):
+        with pytest.raises(ValueError):
+            run_replicated(tiny_config(), "TF", replications=0)
+
+    def test_replications_use_distinct_seeds(self):
+        replicated = run_replicated(tiny_config(), "TF", replications=3)
+        seeds = {r.seed for r in replicated.replications}
+        assert len(seeds) == 3
+
+    def test_summaries_cover_headline_metrics(self):
+        replicated = run_replicated(tiny_config(), "TF", replications=3)
+        for name in ("p_md", "p_success", "average_value", "fold_low"):
+            summary = replicated.metric(name)
+            assert isinstance(summary, MetricSummary)
+            assert summary.samples == 3
+        assert replicated.mean("p_md") == replicated.metric("p_md").mean
+        with pytest.raises(KeyError):
+            replicated.metric("nope")
+
+    def test_paired_workloads_across_algorithms(self):
+        """Replication i of any algorithm sees the same arrivals."""
+        a = run_replicated(tiny_config(), "TF", replications=2)
+        b = run_replicated(tiny_config(), "UF", replications=2)
+        for ra, rb in zip(a.replications, b.replications):
+            assert ra.seed == rb.seed
+            assert ra.updates_arrived == rb.updates_arrived
+            assert ra.transactions_arrived == rb.transactions_arrived
+
+    def test_compare_algorithms(self):
+        comparison = compare_algorithms(
+            tiny_config(), ("TF", "UF"), "fold_low", replications=2
+        )
+        assert set(comparison) == {"TF", "UF"}
+        # UF installs on arrival, so across any workload it is fresher.
+        assert comparison["UF"].mean <= comparison["TF"].mean + 1e-9
+
+    def test_algorithm_kwargs_forwarded(self):
+        replicated = run_replicated(
+            tiny_config(), "FX", replications=2, fraction=0.3
+        )
+        assert replicated.algorithm == "FX"

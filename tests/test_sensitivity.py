@@ -1,0 +1,81 @@
+"""Tests for the parameter sensitivity analysis."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.experiments.sensitivity import (
+    STANDARD_PARAMETERS,
+    analyze_sensitivity,
+    format_sensitivity,
+)
+
+
+def tiny_config():
+    config = baseline_config(duration=6.0).with_updates(
+        arrival_rate=60.0, n_low=20, n_high=20
+    )
+    config.warmup = 1.5
+    return config
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return analyze_sensitivity(tiny_config(), "TF", "p_md", relative_step=0.5)
+
+
+def test_one_row_per_parameter(rows):
+    assert len(rows) == len(STANDARD_PARAMETERS)
+    assert {row.parameter for row in rows} == {
+        name for name, _, _ in STANDARD_PARAMETERS
+    }
+
+
+def test_rows_sorted_by_magnitude(rows):
+    magnitudes = [abs(row.elasticity) for row in rows]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+def test_perturbation_arithmetic(rows):
+    for row in rows:
+        assert row.perturbed_value == pytest.approx(row.baseline_value * 1.5)
+
+
+def test_transaction_load_is_a_sensitive_parameter(rows):
+    """Missing deadlines must react to the transaction arrival rate and the
+    compute time — the paper's central load parameters."""
+    by_name = {row.parameter: row for row in rows}
+    assert abs(by_name["lambda_t"].elasticity) > 0.1
+    assert abs(by_name["compute_mean"].elasticity) > 0.1
+
+
+def test_td_deadline_misses_robust_to_update_cost_parameters(rows):
+    """For TF (transactions always first), deadline misses barely depend on
+    the update-side cost parameters — the load parameters dominate."""
+    by_name = {row.parameter: row for row in rows}
+    assert abs(by_name["x_update"].elasticity) < 0.2
+    assert abs(by_name["lambda_u"].elasticity) < 0.2
+    # ... and the load parameters dominate the ranking.
+    assert rows[0].parameter in ("lambda_t", "compute_mean")
+
+
+def test_step_validation():
+    with pytest.raises(ValueError):
+        analyze_sensitivity(tiny_config(), "TF", "p_md", relative_step=0.0)
+
+
+def test_custom_parameter_subset():
+    subset = [STANDARD_PARAMETERS[0]]
+    rows = analyze_sensitivity(
+        tiny_config(), "UF", "fold_low", parameters=subset, relative_step=0.5
+    )
+    assert len(rows) == 1
+    assert rows[0].parameter == "lambda_u"
+    # More updates -> fresher data for UF.
+    assert rows[0].elasticity <= 0.0
+
+
+def test_format_renders_table(rows):
+    text = format_sensitivity(rows, "p_md", "TF")
+    assert "Sensitivity of TF's p_md" in text
+    assert "lambda_t" in text
+    assert "elasticity" in text

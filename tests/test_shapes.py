@@ -1,0 +1,76 @@
+"""Scaled-down qualitative shape checks (regression guard for the figures).
+
+The full reproductions live in benchmarks/; these compact versions run in
+the normal test suite so a change that flips the paper's comparative story
+(who wins on which metric) fails fast.
+"""
+
+import pytest
+
+from repro.config import StaleReadAction, StalenessPolicy, baseline_config
+from repro.core.simulator import run_simulation
+
+
+@pytest.fixture(scope="module")
+def overload_results():
+    """All four algorithms at lambda_t=20 (overload), MA, 30s measured."""
+    config = baseline_config(duration=40.0)
+    config.warmup = 10.0
+    config = config.with_transactions(arrival_rate=20.0)
+    return {
+        name: run_simulation(config, name) for name in ("UF", "TF", "SU", "OD")
+    }
+
+
+def test_uf_keeps_database_fresh(overload_results):
+    assert overload_results["UF"].fold_low < 0.15
+    assert overload_results["UF"].fold_high < 0.15
+
+
+def test_tf_lets_database_go_stale(overload_results):
+    assert overload_results["TF"].fold_low > 0.8
+
+
+def test_su_protects_only_high_importance(overload_results):
+    su = overload_results["SU"]
+    assert su.fold_high < 0.15
+    assert su.fold_low > 0.5
+
+
+def test_tf_od_miss_fewer_deadlines_than_uf(overload_results):
+    assert overload_results["TF"].p_md < overload_results["UF"].p_md
+    assert overload_results["OD"].p_md < overload_results["UF"].p_md
+
+
+def test_od_wins_on_success(overload_results):
+    od = overload_results["OD"].p_success
+    for name in ("UF", "TF", "SU"):
+        assert od >= overload_results[name].p_success - 0.02
+
+
+def test_tf_loses_on_success(overload_results):
+    tf = overload_results["TF"].p_success
+    for name in ("UF", "OD", "SU"):
+        assert tf <= overload_results[name].p_success + 0.02
+
+
+def test_uf_update_share_is_about_a_fifth(overload_results):
+    assert 0.12 < overload_results["UF"].rho_updates < 0.27
+
+
+def test_stale_aborts_help_tf_freshness():
+    base = baseline_config(duration=40.0).with_transactions(arrival_rate=20.0)
+    base.warmup = 10.0
+    aborting = base.with_transactions(stale_read_action=StaleReadAction.ABORT)
+    plain = run_simulation(base, "TF")
+    with_abort = run_simulation(aborting, "TF")
+    assert with_abort.fold_high < plain.fold_high * 0.6
+
+
+def test_uu_ranking_matches_paper():
+    config = baseline_config(duration=40.0, staleness=StalenessPolicy.UNAPPLIED_UPDATE)
+    config.warmup = 10.0
+    config = config.with_transactions(arrival_rate=12.0)
+    results = {name: run_simulation(config, name) for name in ("UF", "TF", "SU", "OD")}
+    ranking = sorted(results, key=lambda n: results[n].p_success, reverse=True)
+    assert ranking == ["OD", "UF", "SU", "TF"]

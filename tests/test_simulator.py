@@ -1,0 +1,150 @@
+"""Integration tests for the wired simulation."""
+
+import pytest
+
+from repro.config import StalenessPolicy, baseline_config
+from repro.core.algorithms.registry import ALGORITHMS
+from repro.core.simulator import Simulation, run_simulation
+from repro.db.update_queue import PartitionedUpdateQueue, UpdateQueue
+
+
+def short_config(**top):
+    config = baseline_config(duration=8.0, **top)
+    return config.with_updates(arrival_rate=100.0, n_low=50, n_high=50)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_every_algorithm_runs_and_conserves(algorithm):
+    result = run_simulation(short_config(), algorithm)
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+    assert result.transactions_arrived > 0
+    assert result.updates_arrived > 0
+    assert 0.0 <= result.p_md <= 1.0
+    assert 0.0 <= result.p_success <= 1.0
+    assert 0.0 <= result.fold_low <= 1.0
+    assert 0.0 <= result.fold_high <= 1.0
+    assert 0.0 <= result.rho_total <= 1.0001
+
+
+@pytest.mark.parametrize(
+    "policy", [StalenessPolicy.MAX_AGE, StalenessPolicy.MAX_AGE_ARRIVAL,
+               StalenessPolicy.UNAPPLIED_UPDATE, StalenessPolicy.COMBINED]
+)
+def test_every_staleness_policy_runs(policy):
+    result = run_simulation(short_config(staleness=policy), "OD")
+    assert result.staleness == policy.value
+    assert result.update_conservation_gap() == 0
+
+
+def test_same_seed_reproduces_exactly():
+    a = run_simulation(short_config(), "TF")
+    b = run_simulation(short_config(), "TF")
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = run_simulation(short_config(), "TF")
+    b = run_simulation(short_config(seed=7), "TF")
+    assert a != b
+
+
+def test_common_random_numbers_across_algorithms():
+    """Every algorithm must face the identical arrival processes."""
+    arrivals = {}
+    for algorithm in ("UF", "TF", "SU", "OD"):
+        result = run_simulation(short_config(), algorithm)
+        arrivals[algorithm] = (
+            result.updates_arrived,
+            result.transactions_arrived,
+            result.value_offered,
+        )
+    assert len(set(arrivals.values())) == 1
+
+
+def test_simulation_is_single_use():
+    sim = Simulation(short_config(), "TF")
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.run()
+    with pytest.raises(RuntimeError):
+        sim.run_scripted()
+
+
+def test_algorithm_kwargs_require_name():
+    from repro.core.algorithms.update_first import UpdateFirst
+
+    with pytest.raises(ValueError):
+        Simulation(short_config(), UpdateFirst(), fraction=0.5)
+
+
+def test_partitioned_queue_selected_for_tf_split():
+    sim = Simulation(short_config(), "TF-SPLIT")
+    assert isinstance(sim.update_queue, PartitionedUpdateQueue)
+    sim = Simulation(short_config(), "TF")
+    assert isinstance(sim.update_queue, UpdateQueue)
+
+
+def test_indexed_queue_option_respected():
+    sim = Simulation(short_config().with_system(indexed_update_queue=True), "OD")
+    assert sim.update_queue.indexed
+
+
+def test_warmup_shortens_measurement_window():
+    config = short_config()
+    config.warmup = 4.0
+    result = run_simulation(config, "TF")
+    assert result.duration == pytest.approx(4.0)
+    # Conservation still holds across the reset boundary.
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+
+
+def test_warmup_conservation_for_preempting_algorithm():
+    config = short_config()
+    config.warmup = 4.0
+    result = run_simulation(config, "UF")
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+
+
+def test_metrics_identities():
+    result = run_simulation(short_config(), "OD")
+    finished = (
+        result.transactions_committed
+        + result.transactions_missed
+        + result.transactions_aborted_stale
+    )
+    assert result.p_md == pytest.approx(
+        1 - result.transactions_committed / finished
+    )
+    assert result.p_success == pytest.approx(
+        result.transactions_committed_fresh / finished
+    )
+    assert result.p_suc_nontardy == pytest.approx(
+        result.transactions_committed_fresh / result.transactions_committed
+    )
+    assert result.average_value == pytest.approx(
+        result.value_earned / result.duration
+    )
+    assert result.p_success <= 1 - result.p_md + 1e-12
+
+
+def test_value_earned_bounded_by_offered():
+    result = run_simulation(short_config(), "TF")
+    assert 0 < result.value_earned <= result.value_offered
+
+
+def test_fx_fraction_steers_update_share():
+    lean = run_simulation(
+        short_config().with_transactions(arrival_rate=20.0), "FX", fraction=0.02
+    )
+    rich = run_simulation(
+        short_config().with_transactions(arrival_rate=20.0), "FX", fraction=0.4
+    )
+    assert rich.rho_updates > lean.rho_updates
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(KeyError):
+        run_simulation(short_config(), "NOPE")

@@ -1,0 +1,147 @@
+"""Unit tests for the staleness definitions (paper section 2)."""
+
+import pytest
+
+from repro.config import StalenessPolicy, baseline_config
+from repro.db.database import Database
+from repro.db.objects import DataObject, ObjectClass, Update
+from repro.db.staleness import (
+    CombinedStaleness,
+    MaxAgeArrivalStaleness,
+    MaxAgeStaleness,
+    UnappliedUpdateStaleness,
+    make_staleness_checker,
+)
+from repro.db.update_queue import UpdateQueue
+
+
+def fresh_object(generation=10.0, arrival=10.2, install=10.4):
+    obj = DataObject(ObjectClass.VIEW_LOW, 0)
+    obj.apply_full(1.0, generation, arrival, install)
+    return obj
+
+
+def queued_update(seq, generation, object_id=0):
+    return Update(
+        seq, ObjectClass.VIEW_LOW, object_id, 0.0, generation, generation + 0.1
+    )
+
+
+class TestMaxAge:
+    def test_fresh_within_max_age(self):
+        checker = MaxAgeStaleness(7.0)
+        obj = fresh_object(generation=10.0)
+        assert not checker.is_stale(obj, 17.0)
+
+    def test_stale_past_max_age(self):
+        checker = MaxAgeStaleness(7.0)
+        obj = fresh_object(generation=10.0)
+        assert checker.is_stale(obj, 17.01)
+
+    def test_new_object_goes_stale_at_alpha(self):
+        checker = MaxAgeStaleness(7.0)
+        obj = DataObject(ObjectClass.VIEW_LOW, 0)
+        assert not checker.is_stale(obj, 7.0)
+        assert checker.is_stale(obj, 7.5)
+
+    def test_freshens_requires_newer_and_young(self):
+        checker = MaxAgeStaleness(7.0)
+        obj = fresh_object(generation=10.0)
+        young_newer = queued_update(0, generation=12.0)
+        assert checker.freshens(young_newer, obj, now=13.0)
+        old_newer = queued_update(1, generation=12.0)
+        assert not checker.freshens(old_newer, obj, now=19.5)  # > 7s old
+        older_than_db = queued_update(2, generation=9.0)
+        assert not checker.freshens(older_than_db, obj, now=13.0)
+
+    def test_max_age_validation(self):
+        with pytest.raises(ValueError):
+            MaxAgeStaleness(0.0)
+
+
+class TestMaxAgeArrival:
+    def test_uses_arrival_timestamp(self):
+        checker = MaxAgeArrivalStaleness(7.0)
+        obj = fresh_object(generation=1.0, arrival=10.0)
+        # Generation is ancient, but the value arrived recently.
+        assert not checker.is_stale(obj, 16.9)
+        assert checker.is_stale(obj, 17.1)
+
+    def test_freshens_uses_update_arrival(self):
+        checker = MaxAgeArrivalStaleness(7.0)
+        obj = fresh_object(generation=1.0, arrival=1.0)
+        update = queued_update(0, generation=2.0)  # arrives at 2.1
+        assert checker.freshens(update, obj, now=9.0)
+        assert not checker.freshens(update, obj, now=9.3)
+
+
+class TestUnappliedUpdate:
+    def test_stale_only_with_newer_queued_update(self):
+        queue = UpdateQueue(10)
+        checker = UnappliedUpdateStaleness(queue)
+        obj = fresh_object(generation=10.0)
+        assert not checker.is_stale(obj, 11.0)
+        queue.push(queued_update(0, generation=12.0), now=12.1)
+        assert checker.is_stale(obj, 12.2)
+
+    def test_out_of_order_straggler_does_not_stale(self):
+        queue = UpdateQueue(10)
+        checker = UnappliedUpdateStaleness(queue)
+        obj = fresh_object(generation=10.0)
+        queue.push(queued_update(0, generation=9.0), now=10.5)
+        assert not checker.is_stale(obj, 11.0)
+
+    def test_freshens_only_for_newest_queued(self):
+        queue = UpdateQueue(10)
+        checker = UnappliedUpdateStaleness(queue)
+        obj = fresh_object(generation=10.0)
+        older = queued_update(0, generation=11.0)
+        newest = queued_update(1, generation=12.0)
+        queue.push(older, 12.1)
+        queue.push(newest, 12.1)
+        assert not checker.freshens(older, obj, 12.2)
+        assert checker.freshens(newest, obj, 12.2)
+
+    def test_requires_queue_flag(self):
+        assert UnappliedUpdateStaleness.requires_queue_check
+        assert not MaxAgeStaleness.requires_queue_check
+
+
+class TestCombined:
+    def test_stale_under_either_definition(self):
+        queue = UpdateQueue(10)
+        checker = CombinedStaleness(7.0, queue)
+        obj = fresh_object(generation=10.0)
+        assert not checker.is_stale(obj, 12.0)
+        # UU side: a newer queued update.
+        queue.push(queued_update(0, generation=11.0), 12.0)
+        assert checker.is_stale(obj, 12.0)
+        queue.pop_next(lifo=False, now=12.5)
+        assert not checker.is_stale(obj, 12.5)
+        # MA side: the value ages out.
+        assert checker.is_stale(obj, 17.5)
+
+    def test_freshens_requires_both(self):
+        queue = UpdateQueue(10)
+        checker = CombinedStaleness(7.0, queue)
+        obj = fresh_object(generation=10.0)
+        newest_but_old = queued_update(0, generation=11.0)
+        queue.push(newest_but_old, 18.5)
+        # Newer than DB and the newest queued, but older than max_age.
+        assert not checker.freshens(newest_but_old, obj, now=18.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        ("policy", "cls"),
+        [
+            (StalenessPolicy.MAX_AGE, MaxAgeStaleness),
+            (StalenessPolicy.MAX_AGE_ARRIVAL, MaxAgeArrivalStaleness),
+            (StalenessPolicy.UNAPPLIED_UPDATE, UnappliedUpdateStaleness),
+            (StalenessPolicy.COMBINED, CombinedStaleness),
+        ],
+    )
+    def test_factory_builds_right_checker(self, policy, cls):
+        config = baseline_config().replace(staleness=policy)
+        checker = make_staleness_checker(config, UpdateQueue(10))
+        assert isinstance(checker, cls)

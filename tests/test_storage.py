@@ -1,0 +1,87 @@
+"""Tests for result persistence and diffing."""
+
+import json
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation
+from repro.metrics.storage import (
+    diff_results,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_results():
+    config = baseline_config(duration=3.0).with_updates(
+        arrival_rate=40.0, n_low=10, n_high=10
+    )
+    return [run_simulation(config, name) for name in ("TF", "UF")]
+
+
+def test_round_trip_dict(sample_results):
+    result = sample_results[0]
+    assert result_from_dict(result_to_dict(result)) == result
+
+
+def test_save_and_load(tmp_path, sample_results):
+    path = tmp_path / "results.json"
+    count = save_results(sample_results, path)
+    assert count == 2
+    loaded = load_results(path)
+    assert loaded == sample_results
+
+
+def test_saved_file_is_plain_json(tmp_path, sample_results):
+    path = tmp_path / "results.json"
+    save_results(sample_results, path)
+    payload = json.loads(path.read_text())
+    assert isinstance(payload, list)
+    assert payload[0]["algorithm"] in ("TF", "UF")
+
+
+def test_load_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a list"}')
+    with pytest.raises(ValueError):
+        load_results(path)
+
+
+def test_from_dict_rejects_missing_fields(sample_results):
+    payload = result_to_dict(sample_results[0])
+    del payload["p_md"]
+    with pytest.raises(ValueError, match="missing"):
+        result_from_dict(payload)
+
+
+def test_from_dict_rejects_unknown_fields(sample_results):
+    payload = result_to_dict(sample_results[0])
+    payload["surprise"] = 1
+    with pytest.raises(ValueError, match="extra"):
+        result_from_dict(payload)
+
+
+def test_diff_identical_is_empty(sample_results):
+    assert diff_results(sample_results[0], sample_results[0]) == {}
+
+
+def test_diff_reports_changed_fields(sample_results):
+    tf, uf = sample_results
+    differences = diff_results(tf, uf)
+    assert "algorithm" in differences
+    assert differences["algorithm"] == ("TF", "UF")
+
+
+def test_diff_tolerance(sample_results):
+    tf, uf = sample_results
+    strict = diff_results(tf, uf, atol=0.0)
+    loose = diff_results(tf, uf, atol=1e9)
+    # With a huge tolerance only non-float fields remain.
+    assert set(loose) <= set(strict)
+    assert all(
+        not isinstance(values[0], float) for values in loose.values()
+    )

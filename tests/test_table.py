@@ -1,0 +1,169 @@
+"""Tests for the general-data table substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.table import Row, SchemaError, Table
+
+
+def holdings():
+    table = Table("holdings", ("symbol", "shares", "desk"), key="symbol")
+    table.upsert({"symbol": "HP", "shares": 100, "desk": "arb"})
+    table.upsert({"symbol": "IBM", "shares": 50, "desk": "arb"})
+    table.upsert({"symbol": "DM", "shares": 200, "desk": "fx"})
+    return table
+
+
+class TestSchema:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            Table("empty", (), key="x")
+
+    def test_key_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            Table("t", ("a", "b"), key="c")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", ("a", "a"), key="a")
+
+    def test_upsert_rejects_missing_and_extra_columns(self):
+        table = Table("t", ("a", "b"), key="a")
+        with pytest.raises(SchemaError, match="missing"):
+            table.upsert({"a": 1})
+        with pytest.raises(SchemaError, match="extra"):
+            table.upsert({"a": 1, "b": 2, "c": 3})
+
+
+class TestCrud:
+    def test_get_and_contains(self):
+        table = holdings()
+        assert table.get("HP")["shares"] == 100
+        assert table.get("NOPE") is None
+        assert "IBM" in table
+        assert len(table) == 3
+
+    def test_upsert_replaces(self):
+        table = holdings()
+        table.upsert({"symbol": "HP", "shares": 150, "desk": "arb"})
+        assert table.get("HP")["shares"] == 150
+        assert len(table) == 3
+
+    def test_delete(self):
+        table = holdings()
+        assert table.delete("HP")
+        assert not table.delete("HP")
+        assert len(table) == 2
+
+    def test_row_access(self):
+        row = holdings().get("HP")
+        assert row["desk"] == "arb"
+        with pytest.raises(KeyError):
+            row["nope"]
+        assert row.as_dict() == {"symbol": "HP", "shares": 100, "desk": "arb"}
+
+    def test_update_where(self):
+        table = holdings()
+        touched = table.update_where(lambda r: r["desk"] == "arb", {"shares": 0})
+        assert touched == 2
+        assert table.get("HP")["shares"] == 0
+        assert table.get("DM")["shares"] == 200
+
+    def test_update_where_validation(self):
+        table = holdings()
+        with pytest.raises(SchemaError):
+            table.update_where(lambda r: True, {"nope": 1})
+        with pytest.raises(SchemaError):
+            table.update_where(lambda r: True, {"symbol": "X"})
+
+
+class TestQueries:
+    def test_lookup_by_key(self):
+        table = holdings()
+        assert [r["symbol"] for r in table.lookup("symbol", "HP")] == ["HP"]
+        assert table.lookup("symbol", "NOPE") == []
+
+    def test_lookup_unindexed_column_scans(self):
+        table = holdings()
+        rows = table.lookup("desk", "arb")
+        assert {r["symbol"] for r in rows} == {"HP", "IBM"}
+
+    def test_lookup_unknown_column(self):
+        with pytest.raises(SchemaError):
+            holdings().lookup("nope", 1)
+
+    def test_scan_with_predicate(self):
+        table = holdings()
+        big = list(table.scan(lambda r: r["shares"] >= 100))
+        assert {r["symbol"] for r in big} == {"HP", "DM"}
+
+    def test_aggregate(self):
+        table = holdings()
+        total = table.aggregate("shares", lambda acc, v: acc + v)
+        assert total == 350
+        arb = table.aggregate(
+            "shares", lambda acc, v: acc + v,
+            predicate=lambda r: r["desk"] == "arb",
+        )
+        assert arb == 150
+
+    def test_access_counters(self):
+        table = holdings()
+        writes_before = table.writes
+        table.get("HP")
+        list(table.scan())
+        table.upsert({"symbol": "X", "shares": 1, "desk": "fx"})
+        assert table.reads >= 2
+        assert table.writes == writes_before + 1
+
+
+class TestSecondaryIndexes:
+    def test_index_answers_lookup(self):
+        table = holdings()
+        table.create_index("desk")
+        assert "desk" in table.indexed_columns()
+        rows = table.lookup("desk", "arb")
+        assert {r["symbol"] for r in rows} == {"HP", "IBM"}
+
+    def test_index_maintained_on_upsert_and_delete(self):
+        table = holdings()
+        table.create_index("desk")
+        table.upsert({"symbol": "HP", "shares": 100, "desk": "fx"})
+        assert {r["symbol"] for r in table.lookup("desk", "fx")} == {"HP", "DM"}
+        assert {r["symbol"] for r in table.lookup("desk", "arb")} == {"IBM"}
+        table.delete("DM")
+        assert {r["symbol"] for r in table.lookup("desk", "fx")} == {"HP"}
+
+    def test_cannot_index_key_or_unknown(self):
+        table = holdings()
+        with pytest.raises(SchemaError):
+            table.create_index("symbol")
+        with pytest.raises(SchemaError):
+            table.create_index("nope")
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("upsert"), st.integers(0, 8), st.integers(0, 3)),
+        st.tuples(st.just("delete"), st.integers(0, 8), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_index_always_agrees_with_scan(ops):
+    """Property: after any op sequence, indexed lookups equal full scans."""
+    table = Table("t", ("id", "group"), key="id")
+    table.create_index("group")
+    for op, key, group in ops:
+        if op == "upsert":
+            table.upsert({"id": key, "group": group})
+        else:
+            table.delete(key)
+    for group in range(4):
+        via_index = {r["id"] for r in table.lookup("group", group)}
+        via_scan = {r["id"] for r in table.scan(lambda r, g=group: r["group"] == g)}
+        assert via_index == via_scan

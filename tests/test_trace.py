@@ -1,0 +1,76 @@
+"""Tests for workload trace record/replay."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass
+from repro.sim.engine import Engine
+from repro.sim.streams import StreamFamily
+from repro.workload.trace import TraceRecorder, replay_updates, synthetic_updates
+from repro.workload.updates import UpdateStreamGenerator
+
+
+def test_recorder_passes_through_and_remembers():
+    received = []
+    recorder = TraceRecorder(received.append)
+    recorder("a")
+    recorder("b")
+    assert received == ["a", "b"]
+    assert list(recorder) == ["a", "b"]
+    assert len(recorder) == 2
+
+
+def test_recorder_without_sink():
+    recorder = TraceRecorder()
+    recorder(1)
+    assert recorder.items == [1]
+
+
+def test_synthetic_updates_builder():
+    updates = synthetic_updates(
+        [(1.0, 0.1), (2.0, 0.5)], ObjectClass.VIEW_LOW, object_id=3
+    )
+    assert [u.arrival_time for u in updates] == [1.0, 2.0]
+    assert updates[1].generation_time == pytest.approx(1.5)
+    assert all(u.object_id == 3 for u in updates)
+
+
+def test_synthetic_updates_validation():
+    with pytest.raises(ValueError):
+        synthetic_updates([(1.0, 2.0)], ObjectClass.VIEW_LOW)
+
+
+def test_replay_delivers_at_recorded_times():
+    updates = synthetic_updates([(1.0, 0.0), (3.0, 0.0)], ObjectClass.VIEW_LOW)
+    engine = Engine()
+    seen = []
+    count = replay_updates(engine, updates, lambda u: seen.append((engine.now, u.seq)))
+    assert count == 2
+    engine.run_until(10.0)
+    assert seen == [(1.0, 0), (3.0, 1)]
+
+
+def test_replay_rejects_past_arrivals():
+    updates = synthetic_updates([(1.0, 0.0)], ObjectClass.VIEW_LOW)
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run_until(6.0)
+    with pytest.raises(ValueError):
+        replay_updates(engine, updates, lambda u: None)
+
+
+def test_record_then_replay_reproduces_generator_stream():
+    config = baseline_config().with_updates(arrival_rate=50.0)
+    engine = Engine()
+    recorder = TraceRecorder()
+    generator = UpdateStreamGenerator(
+        config, engine, StreamFamily(config.seed), recorder
+    )
+    generator.start()
+    engine.run_until(2.0)
+
+    replay_engine = Engine()
+    replayed = []
+    replay_updates(replay_engine, recorder.items, replayed.append)
+    replay_engine.run_until(2.0)
+    assert [u.seq for u in replayed] == [u.seq for u in recorder.items]

@@ -1,0 +1,157 @@
+"""Unit tests for the live-transaction state machine."""
+
+import pytest
+
+from repro.config import SystemParams, TransactionParams
+from repro.core.transaction import (
+    STEP_COMPUTE,
+    STEP_READ,
+    LiveTransaction,
+    TransactionState,
+)
+from repro.workload.transactions import TransactionSpec
+
+
+def make_spec(
+    compute=0.1, reads=(0, 1), slack=0.5, value=1.0, arrival=0.0, high=False
+):
+    return TransactionSpec(
+        seq=0,
+        arrival_time=arrival,
+        high_value=high,
+        value=value,
+        compute_time=compute,
+        reads=tuple(reads),
+        slack=slack,
+    )
+
+
+def make_txn(spec=None, p_view=0.0):
+    spec = spec or make_spec()
+    params = TransactionParams(p_view=p_view)
+    return LiveTransaction(spec, params, SystemParams())
+
+
+LOOKUP_SECONDS = 4000 / 50e6
+
+
+def test_plan_with_pview_zero_reads_first():
+    txn = make_txn(make_spec(compute=0.1, reads=(3, 4)))
+    kinds = []
+    while not txn.done:
+        kind, _ = txn.complete_step()
+        kinds.append(kind)
+    assert kinds == [STEP_READ, STEP_READ, STEP_COMPUTE]
+
+
+def test_plan_with_pview_splits_compute():
+    txn = make_txn(make_spec(compute=0.1, reads=(3,)), p_view=0.25)
+    kind, _ = txn.current_step()[0], None
+    assert txn.current_step()[0] == STEP_COMPUTE
+    assert txn.current_step()[1] == pytest.approx(0.025)
+    txn.complete_step()
+    assert txn.current_step()[0] == STEP_READ
+    txn.complete_step()
+    assert txn.current_step()[1] == pytest.approx(0.075)
+
+
+def test_plan_with_pview_one_has_no_tail():
+    txn = make_txn(make_spec(compute=0.1, reads=(3,)), p_view=1.0)
+    steps = []
+    while not txn.done:
+        steps.append(txn.complete_step()[0])
+    assert steps == [STEP_COMPUTE, STEP_READ]
+
+
+def test_empty_transaction_still_has_one_step():
+    txn = make_txn(make_spec(compute=0.0, reads=()))
+    assert not txn.done
+    assert txn.complete_step()[0] == STEP_COMPUTE
+    assert txn.done
+
+
+def test_base_remaining_counts_reads():
+    txn = make_txn(make_spec(compute=0.1, reads=(0, 1, 2)))
+    assert txn.base_remaining == pytest.approx(0.1 + 3 * LOOKUP_SECONDS)
+
+
+def test_deadline_matches_spec_formula():
+    spec = make_spec(compute=0.1, reads=(0,), slack=0.5, arrival=2.0)
+    txn = make_txn(spec)
+    assert txn.deadline == pytest.approx(2.0 + 0.1 + LOOKUP_SECONDS + 0.5)
+
+
+def test_complete_step_reduces_remaining():
+    txn = make_txn(make_spec(compute=0.1, reads=(7,)))
+    before = txn.base_remaining
+    kind, object_id = txn.complete_step()
+    assert kind == STEP_READ
+    assert object_id == 7
+    assert txn.base_remaining == pytest.approx(before - LOOKUP_SECONDS)
+
+
+def test_preemption_progress_and_resume():
+    txn = make_txn(make_spec(compute=0.1, reads=()))
+    assert txn.next_burst_seconds() == pytest.approx(0.1)
+    txn.note_burst_progress(0.04)
+    assert txn.next_burst_seconds() == pytest.approx(0.06)
+    assert txn.base_remaining == pytest.approx(0.06)
+    txn.complete_step()
+    assert txn.base_remaining == pytest.approx(0.0)
+    assert txn.done
+
+
+def test_progress_clamps_at_zero():
+    txn = make_txn(make_spec(compute=0.01, reads=()))
+    txn.note_burst_progress(1.0)
+    assert txn.next_burst_seconds() == 0.0
+    assert txn.base_remaining == 0.0
+
+
+def test_value_density():
+    txn = make_txn(make_spec(compute=0.1, reads=(), value=2.0))
+    assert txn.value_density() == pytest.approx(2.0 / 0.1)
+    txn.note_burst_progress(0.05)
+    assert txn.value_density() == pytest.approx(2.0 / 0.05)
+
+
+def test_value_density_finite_when_done():
+    txn = make_txn(make_spec(compute=0.01, reads=(), value=3.0))
+    txn.note_burst_progress(0.01)
+    assert txn.value_density() == pytest.approx(3.0 * 1e12)
+
+
+def test_feasibility():
+    spec = make_spec(compute=0.1, reads=(), slack=0.2, arrival=0.0)
+    txn = make_txn(spec)
+    # deadline = 0.3; remaining 0.1 -> feasible until now = 0.2.
+    assert txn.is_feasible(0.19)
+    assert txn.is_feasible(0.2)
+    assert not txn.is_feasible(0.21)
+
+
+def test_states_finished_flags():
+    for state in TransactionState:
+        expected = state in (
+            TransactionState.COMMITTED,
+            TransactionState.MISSED,
+            TransactionState.ABORTED_STALE,
+        )
+        assert state.finished is expected
+
+
+def test_cancel_deadline_is_idempotent():
+    txn = make_txn()
+
+    class FakeEvent:
+        cancelled = False
+
+        def cancel(self):
+            self.cancelled = True
+
+    event = FakeEvent()
+    txn.deadline_event = event
+    txn.cancel_deadline()
+    assert event.cancelled
+    assert txn.deadline_event is None
+    txn.cancel_deadline()

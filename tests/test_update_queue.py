@@ -1,0 +1,197 @@
+"""Unit tests for the generation-ordered update queue."""
+
+import pytest
+
+from repro.db.objects import ObjectClass, Update
+from repro.db.update_queue import UpdateQueue
+
+
+def make_update(seq, generation, object_id=0, klass=ObjectClass.VIEW_LOW):
+    return Update(
+        seq,
+        klass,
+        object_id,
+        float(seq),
+        generation_time=generation,
+        arrival_time=generation + 0.1,
+    )
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        UpdateQueue(0)
+
+
+def test_generation_order_regardless_of_push_order():
+    queue = UpdateQueue(10)
+    queue.push(make_update(0, generation=3.0), now=5.0)
+    queue.push(make_update(1, generation=1.0), now=5.0)
+    queue.push(make_update(2, generation=2.0), now=5.0)
+    assert [u.generation_time for u in queue] == [1.0, 2.0, 3.0]
+
+
+def test_fifo_pops_oldest_generation():
+    queue = UpdateQueue(10)
+    queue.push(make_update(0, 3.0), 5.0)
+    queue.push(make_update(1, 1.0), 5.0)
+    popped = queue.pop_next(lifo=False, now=5.0)
+    assert popped.generation_time == 1.0
+
+
+def test_lifo_pops_newest_generation():
+    queue = UpdateQueue(10)
+    queue.push(make_update(0, 3.0), 5.0)
+    queue.push(make_update(1, 1.0), 5.0)
+    popped = queue.pop_next(lifo=True, now=5.0)
+    assert popped.generation_time == 3.0
+
+
+def test_pop_empty_returns_none():
+    queue = UpdateQueue(4)
+    assert queue.pop_next(lifo=False, now=0.0) is None
+    assert queue.pop_next(lifo=True, now=0.0) is None
+
+
+def test_equal_generations_break_ties_by_sequence():
+    # seq is the global arrival order, so among equal generations the
+    # lower-seq update counts as older and is served first under FIFO.
+    queue = UpdateQueue(10)
+    queue.push(make_update(5, 1.0), 2.0)
+    queue.push(make_update(3, 1.0), 2.0)
+    assert queue.pop_next(lifo=False, now=2.0).seq == 3
+    assert queue.pop_next(lifo=False, now=2.0).seq == 5
+
+
+def test_overflow_discards_oldest():
+    queue = UpdateQueue(2)
+    queue.push(make_update(0, 1.0), 5.0)
+    queue.push(make_update(1, 2.0), 5.0)
+    displaced = queue.push(make_update(2, 3.0), 5.0)
+    assert [u.seq for u in displaced] == [0]
+    assert queue.overflow_discards == 1
+    assert len(queue) == 2
+    assert [u.generation_time for u in queue] == [2.0, 3.0]
+
+
+def test_expire_older_than_removes_only_expired():
+    queue = UpdateQueue(10)
+    for seq, generation in enumerate((1.0, 2.0, 8.0, 9.0)):
+        queue.push(make_update(seq, generation), 9.5)
+    expired = queue.expire_older_than(cutoff_generation=7.5, now=9.5)
+    assert [u.generation_time for u in expired] == [1.0, 2.0]
+    assert queue.expired_discards == 2
+    assert [u.generation_time for u in queue] == [8.0, 9.0]
+
+
+def test_expire_on_empty_queue():
+    queue = UpdateQueue(4)
+    assert queue.expire_older_than(5.0, 5.0) == []
+
+
+def test_remove_specific_update():
+    queue = UpdateQueue(10)
+    target = make_update(1, 2.0)
+    queue.push(make_update(0, 1.0), 3.0)
+    queue.push(target, 3.0)
+    queue.remove(target, 3.0)
+    assert len(queue) == 1
+    assert not target.queued
+    with pytest.raises(KeyError):
+        queue.remove(target, 3.0)
+
+
+def test_newest_for_returns_highest_generation():
+    queue = UpdateQueue(10)
+    queue.push(make_update(0, 1.0, object_id=7), 3.0)
+    queue.push(make_update(1, 2.5, object_id=7), 3.0)
+    queue.push(make_update(2, 2.0, object_id=8), 3.0)
+    newest = queue.newest_for((ObjectClass.VIEW_LOW, 7))
+    assert newest.generation_time == 2.5
+    assert queue.newest_generation_for((ObjectClass.VIEW_LOW, 8)) == 2.0
+    assert queue.newest_for((ObjectClass.VIEW_LOW, 9)) is None
+    assert queue.newest_generation_for((ObjectClass.VIEW_LOW, 9)) is None
+
+
+def test_pending_for_counts_per_object():
+    queue = UpdateQueue(10)
+    queue.push(make_update(0, 1.0, object_id=7), 3.0)
+    queue.push(make_update(1, 2.0, object_id=7), 3.0)
+    assert queue.pending_for((ObjectClass.VIEW_LOW, 7)) == 2
+    queue.pop_next(lifo=False, now=3.0)
+    assert queue.pending_for((ObjectClass.VIEW_LOW, 7)) == 1
+
+
+def test_oldest_and_newest_peeks():
+    queue = UpdateQueue(10)
+    assert queue.oldest() is None
+    assert queue.newest() is None
+    queue.push(make_update(0, 5.0), 6.0)
+    queue.push(make_update(1, 3.0), 6.0)
+    assert queue.oldest().generation_time == 3.0
+    assert queue.newest().generation_time == 5.0
+
+
+def test_observer_fires_on_every_content_change():
+    events = []
+    queue = UpdateQueue(2, observer=lambda key, now: events.append((key, now)))
+    first = make_update(0, 1.0, object_id=1)
+    queue.push(first, 2.0)
+    assert events == [((ObjectClass.VIEW_LOW, 1), 2.0)]
+    queue.push(make_update(1, 2.0, object_id=2), 3.0)
+    queue.push(make_update(2, 3.0, object_id=3), 4.0)  # overflow drops obj 1
+    keys = [key for key, _ in events]
+    assert (ObjectClass.VIEW_LOW, 1) in keys[1:]  # eviction notified
+    events.clear()
+    queue.pop_next(lifo=False, now=5.0)
+    assert len(events) == 1
+
+
+def test_indexed_mode_keeps_only_newest_per_object():
+    queue = UpdateQueue(10, indexed=True)
+    queue.push(make_update(0, 1.0, object_id=4), 2.0)
+    displaced = queue.push(make_update(1, 3.0, object_id=4), 3.5)
+    assert [u.seq for u in displaced] == [0]
+    assert queue.superseded_discards == 1
+    assert len(queue) == 1
+    assert queue.newest_for((ObjectClass.VIEW_LOW, 4)).seq == 1
+
+
+def test_indexed_mode_drops_stale_newcomer():
+    queue = UpdateQueue(10, indexed=True)
+    newest = make_update(0, 5.0, object_id=4)
+    queue.push(newest, 6.0)
+    straggler = make_update(1, 2.0, object_id=4)
+    displaced = queue.push(straggler, 6.5)
+    assert displaced == [straggler]
+    assert len(queue) == 1
+    assert queue.newest_for((ObjectClass.VIEW_LOW, 4)) is newest
+
+
+def test_counters_reset_keeps_content():
+    queue = UpdateQueue(2)
+    queue.push(make_update(0, 1.0), 2.0)
+    queue.push(make_update(1, 2.0), 2.0)
+    queue.push(make_update(2, 3.0), 2.0)
+    assert queue.overflow_discards == 1
+    queue.reset_counters()
+    assert queue.overflow_discards == 0
+    assert len(queue) == 2
+
+
+def test_heavy_churn_stays_consistent():
+    """Interleaved pushes/pops/expiries keep ordering and counts exact."""
+    queue = UpdateQueue(50)
+    seq = 0
+    for round_number in range(40):
+        now = float(round_number)
+        for offset in range(5):
+            queue.push(make_update(seq, now - offset * 0.3, object_id=seq % 7), now)
+            seq += 1
+        if round_number % 3 == 0:
+            queue.pop_next(lifo=round_number % 2 == 0, now=now)
+        queue.expire_older_than(now - 5.0, now)
+        contents = list(queue)
+        generations = [u.generation_time for u in contents]
+        assert generations == sorted(generations)
+        assert len(contents) == len(queue)
+        assert all(u.queued for u in contents)

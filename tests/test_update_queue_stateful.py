@@ -1,0 +1,131 @@
+"""Model-based stateful testing of the update queue.
+
+Hypothesis drives random operation sequences against the real
+:class:`~repro.db.update_queue.UpdateQueue` and a trivially correct model
+(a plain sorted list), asserting observable equivalence after every step.
+This complements the example-based tests with coverage of the interactions
+between tombstoning, the head pointer, compaction, expiry, and the
+per-object buckets.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.db.objects import ObjectClass, Update
+from repro.db.update_queue import UpdateQueue
+
+CAPACITY = 12
+OBJECTS = 5
+
+
+class QueueModel:
+    """The obviously-correct reference: a sorted list of live updates."""
+
+    def __init__(self):
+        self.items: list[Update] = []
+
+    def sort(self):
+        self.items.sort(key=lambda u: (u.generation_time, u.seq))
+
+    def push(self, update):
+        self.sort()
+        while len(self.items) >= CAPACITY:
+            self.items.pop(0)
+        self.items.append(update)
+        self.sort()
+
+    def pop(self, lifo):
+        if not self.items:
+            return None
+        return self.items.pop(-1 if lifo else 0)
+
+    def expire(self, cutoff):
+        keep = [u for u in self.items if u.generation_time >= cutoff]
+        expired = [u for u in self.items if u.generation_time < cutoff]
+        self.items = keep
+        return expired
+
+    def newest_for(self, key):
+        candidates = [u for u in self.items if u.key == key]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda u: (u.generation_time, u.seq))
+
+    def remove(self, update):
+        self.items.remove(update)
+
+
+class UpdateQueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = UpdateQueue(CAPACITY)
+        self.model = QueueModel()
+        self.clock = 0.0
+        self.seq = 0
+
+    def _advance(self, gap):
+        self.clock += gap
+
+    @rule(
+        gap=st.floats(min_value=0.0, max_value=0.5),
+        age=st.floats(min_value=0.0, max_value=3.0),
+        object_id=st.integers(min_value=0, max_value=OBJECTS - 1),
+    )
+    def push(self, gap, age, object_id):
+        self._advance(gap)
+        update = Update(
+            self.seq,
+            ObjectClass.VIEW_LOW,
+            object_id,
+            0.0,
+            generation_time=max(0.0, self.clock - age),
+            arrival_time=self.clock,
+        )
+        self.seq += 1
+        self.queue.push(update, self.clock)
+        self.model.push(update)
+
+    @rule(lifo=st.booleans(), gap=st.floats(min_value=0.0, max_value=0.5))
+    def pop(self, lifo, gap):
+        self._advance(gap)
+        real = self.queue.pop_next(lifo, self.clock)
+        expected = self.model.pop(lifo)
+        assert real is expected
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=3.0),
+          gap=st.floats(min_value=0.0, max_value=0.5))
+    def expire(self, horizon, gap):
+        self._advance(gap)
+        cutoff = self.clock - horizon
+        real = self.queue.expire_older_than(cutoff, self.clock)
+        expected = self.model.expire(cutoff)
+        assert real == expected
+
+    @rule(object_id=st.integers(min_value=0, max_value=OBJECTS - 1))
+    def remove_newest_of_object(self, object_id):
+        key = (ObjectClass.VIEW_LOW, object_id)
+        real = self.queue.newest_for(key)
+        expected = self.model.newest_for(key)
+        assert real is expected
+        if real is not None:
+            self.queue.remove(real, self.clock)
+            self.model.remove(expected)
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.queue) == self.model.items
+        assert len(self.queue) == len(self.model.items)
+
+    @invariant()
+    def per_object_counts_match(self):
+        for object_id in range(OBJECTS):
+            key = (ObjectClass.VIEW_LOW, object_id)
+            expected = sum(1 for u in self.model.items if u.key == key)
+            assert self.queue.pending_for(key) == expected
+
+
+TestUpdateQueueStateful = UpdateQueueMachine.TestCase
+TestUpdateQueueStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

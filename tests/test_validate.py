@@ -1,0 +1,78 @@
+"""Tests for the result invariant validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation
+from repro.metrics.validate import assert_invariants, check_invariants
+
+
+@pytest.fixture(scope="module")
+def healthy_result():
+    config = baseline_config(duration=3.0).with_updates(
+        arrival_rate=40.0, n_low=10, n_high=10
+    )
+    return run_simulation(config, "OD")
+
+
+def corrupt(result, **changes):
+    return dataclasses.replace(result, **changes)
+
+
+def test_healthy_result_passes(healthy_result):
+    assert check_invariants(healthy_result) == []
+    assert_invariants(healthy_result)
+
+
+def test_detects_probability_out_of_range(healthy_result):
+    bad = corrupt(healthy_result, p_md=1.5)
+    violations = check_invariants(bad)
+    assert any("p_md" in v for v in violations)
+
+
+def test_detects_conservation_gap(healthy_result):
+    bad = corrupt(healthy_result, updates_arrived=healthy_result.updates_arrived + 5)
+    assert any("update conservation" in v for v in check_invariants(bad))
+
+
+def test_detects_transaction_gap(healthy_result):
+    bad = corrupt(
+        healthy_result,
+        transactions_arrived=healthy_result.transactions_arrived + 1,
+    )
+    assert any("transaction conservation" in v for v in check_invariants(bad))
+
+
+def test_detects_success_exceeding_timeliness(healthy_result):
+    bad = corrupt(healthy_result, p_md=0.9, p_success=0.5)
+    assert any("p_success" in v for v in check_invariants(bad))
+
+
+def test_detects_overfull_cpu(healthy_result):
+    bad = corrupt(healthy_result, rho_transactions=0.9, rho_updates=0.9)
+    assert any("utilization" in v for v in check_invariants(bad))
+
+
+def test_detects_value_overrun(healthy_result):
+    bad = corrupt(healthy_result, value_earned=healthy_result.value_offered + 1)
+    assert any("value" in v for v in check_invariants(bad))
+
+
+def test_detects_on_demand_without_scans(healthy_result):
+    bad = corrupt(
+        healthy_result,
+        updates_on_demand_scans=0,
+        updates_on_demand_applied=3,
+    )
+    assert any("on-demand" in v for v in check_invariants(bad))
+
+
+def test_assert_raises_with_all_violations(healthy_result):
+    bad = corrupt(healthy_result, p_md=2.0, fold_low=-0.5)
+    with pytest.raises(AssertionError) as excinfo:
+        assert_invariants(bad)
+    message = str(excinfo.value)
+    assert "p_md" in message
+    assert "fold_low" in message

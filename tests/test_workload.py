@@ -1,0 +1,220 @@
+"""Tests for the stochastic workload generators (paper section 5)."""
+
+import pytest
+
+from repro.config import UpdatePattern, baseline_config
+from repro.db.objects import ObjectClass
+from repro.sim.engine import Engine
+from repro.sim.streams import StreamFamily
+from repro.workload.transactions import TransactionGenerator
+from repro.workload.updates import UpdateStreamGenerator
+
+
+def collect_updates(config, horizon):
+    engine = Engine()
+    sink = []
+    generator = UpdateStreamGenerator(
+        config, engine, StreamFamily(config.seed), sink.append
+    )
+    generator.start()
+    engine.run_until(horizon)
+    return sink
+
+
+def collect_transactions(config, horizon):
+    engine = Engine()
+    sink = []
+    generator = TransactionGenerator(
+        config, engine, StreamFamily(config.seed), sink.append
+    )
+    generator.start()
+    engine.run_until(horizon)
+    return sink
+
+
+class TestUpdateStream:
+    def test_arrival_rate(self):
+        config = baseline_config()
+        updates = collect_updates(config, 30.0)
+        assert len(updates) / 30.0 == pytest.approx(400.0, rel=0.05)
+
+    def test_class_mix(self):
+        updates = collect_updates(baseline_config(), 20.0)
+        low = sum(1 for u in updates if u.klass is ObjectClass.VIEW_LOW)
+        assert low / len(updates) == pytest.approx(0.5, abs=0.03)
+
+    def test_object_ids_within_partition(self):
+        config = baseline_config().with_updates(n_low=50, n_high=20)
+        for update in collect_updates(config, 5.0):
+            limit = 50 if update.klass is ObjectClass.VIEW_LOW else 20
+            assert 0 <= update.object_id < limit
+
+    def test_mean_transit_age(self):
+        updates = collect_updates(baseline_config(), 30.0)
+        # Ages clip at generation 0 early on; skip the first second.
+        ages = [u.transit_age() for u in updates if u.arrival_time > 1.0]
+        assert sum(ages) / len(ages) == pytest.approx(0.1, rel=0.1)
+
+    def test_generation_never_negative(self):
+        for update in collect_updates(baseline_config(), 2.0):
+            assert update.generation_time >= 0.0
+
+    def test_sequences_are_unique_and_ordered(self):
+        updates = collect_updates(baseline_config(), 5.0)
+        seqs = [u.seq for u in updates]
+        assert seqs == sorted(set(seqs))
+
+    def test_same_seed_same_stream(self):
+        a = collect_updates(baseline_config(), 5.0)
+        b = collect_updates(baseline_config(), 5.0)
+        assert [(u.seq, u.klass, u.object_id, u.generation_time) for u in a] == [
+            (u.seq, u.klass, u.object_id, u.generation_time) for u in b
+        ]
+
+    def test_different_seed_different_stream(self):
+        a = collect_updates(baseline_config(), 5.0)
+        b = collect_updates(baseline_config(seed=2), 5.0)
+        assert [u.generation_time for u in a] != [u.generation_time for u in b]
+
+    def test_periodic_pattern_round_robins_objects(self):
+        config = baseline_config().with_updates(
+            pattern=UpdatePattern.PERIODIC, n_low=5, n_high=5, arrival_rate=100.0
+        )
+        updates = collect_updates(config, 0.5)
+        # 100/s for 0.5s = ~50 arrivals over 10 objects: each object hit
+        # multiple times, in strict rotation.
+        keys = [(u.klass, u.object_id) for u in updates[:10]]
+        assert len(set(keys)) == 10
+
+    def test_periodic_rate_matches(self):
+        config = baseline_config().with_updates(pattern=UpdatePattern.PERIODIC)
+        updates = collect_updates(config, 10.0)
+        assert len(updates) / 10.0 == pytest.approx(400.0, rel=0.05)
+
+    def test_bursty_long_run_rate_matches_mean(self):
+        config = baseline_config().with_updates(
+            pattern=UpdatePattern.BURSTY, arrival_rate=200.0,
+            burst_peak_factor=3.0, burst_peak_fraction=0.25,
+            burst_dwell_mean=1.0,
+        )
+        updates = collect_updates(config, 120.0)
+        assert len(updates) / 120.0 == pytest.approx(200.0, rel=0.15)
+
+    def test_bursty_has_higher_variance_than_poisson(self):
+        """Per-second arrival counts must be overdispersed vs. Poisson."""
+        def per_second_counts(pattern):
+            config = baseline_config().with_updates(
+                pattern=pattern, arrival_rate=200.0,
+                burst_peak_factor=4.0, burst_peak_fraction=0.2,
+                burst_dwell_mean=2.0,
+            )
+            updates = collect_updates(config, 60.0)
+            counts = [0] * 60
+            for update in updates:
+                counts[min(59, int(update.arrival_time))] += 1
+            mean = sum(counts) / len(counts)
+            return sum((c - mean) ** 2 for c in counts) / len(counts), mean
+
+        bursty_var, bursty_mean = per_second_counts(UpdatePattern.BURSTY)
+        poisson_var, poisson_mean = per_second_counts(UpdatePattern.APERIODIC)
+        # Poisson: variance ~ mean. Bursty: far larger.
+        assert bursty_var > 2.0 * bursty_mean
+        assert bursty_var > 2.0 * poisson_var
+
+    def test_bursty_rate_derivation(self):
+        from repro.config import UpdateStreamParams
+
+        params = UpdateStreamParams(
+            arrival_rate=100.0, burst_peak_factor=3.0, burst_peak_fraction=0.25
+        )
+        assert params.peak_rate == 300.0
+        assert params.off_peak_rate == pytest.approx(100.0 / 3.0 * 1.0)
+        # Long-run mean: 0.25*300 + 0.75*off == 100.
+        mean = 0.25 * params.peak_rate + 0.75 * params.off_peak_rate
+        assert mean == pytest.approx(100.0)
+
+    def test_bursty_parameter_validation(self):
+        from repro.config import UpdateStreamParams
+
+        with pytest.raises(ValueError):
+            UpdateStreamParams(burst_peak_factor=0.5).validate()
+        with pytest.raises(ValueError):
+            UpdateStreamParams(burst_peak_fraction=0.0).validate()
+        with pytest.raises(ValueError):
+            UpdateStreamParams(burst_dwell_mean=0.0).validate()
+        with pytest.raises(ValueError):
+            # Peak mass exceeding the mean makes off-peak negative.
+            UpdateStreamParams(
+                burst_peak_factor=5.0, burst_peak_fraction=0.25
+            ).validate()
+
+    def test_partial_updates_generated_when_enabled(self):
+        config = baseline_config().with_updates(partial_probability=0.5)
+        updates = collect_updates(config, 5.0)
+        partials = [u for u in updates if u.partial]
+        assert len(partials) / len(updates) == pytest.approx(0.5, abs=0.05)
+        assert all(0 <= u.attribute < 4 for u in partials)
+
+    def test_no_partials_by_default(self):
+        assert not any(u.partial for u in collect_updates(baseline_config(), 2.0))
+
+
+class TestTransactionWorkload:
+    def test_arrival_rate(self):
+        specs = collect_transactions(baseline_config(), 60.0)
+        assert len(specs) / 60.0 == pytest.approx(10.0, rel=0.15)
+
+    def test_class_mix_and_values(self):
+        specs = collect_transactions(baseline_config(), 300.0)
+        low = [s for s in specs if not s.high_value]
+        high = [s for s in specs if s.high_value]
+        assert len(low) / len(specs) == pytest.approx(0.5, abs=0.05)
+        assert sum(s.value for s in low) / len(low) == pytest.approx(1.0, abs=0.1)
+        assert sum(s.value for s in high) / len(high) == pytest.approx(2.0, abs=0.1)
+
+    def test_values_non_negative(self):
+        assert all(s.value >= 0 for s in collect_transactions(baseline_config(), 60.0))
+
+    def test_read_set_statistics(self):
+        specs = collect_transactions(baseline_config(), 300.0)
+        counts = [len(s.reads) for s in specs]
+        assert sum(counts) / len(counts) == pytest.approx(2.0, abs=0.2)
+        assert all(c >= 0 for c in counts)
+
+    def test_reads_within_partition(self):
+        config = baseline_config().with_updates(n_low=30, n_high=10)
+        for spec in collect_transactions(config, 30.0):
+            limit = 10 if spec.high_value else 30
+            assert all(0 <= read < limit for read in spec.reads)
+
+    def test_slack_bounds(self):
+        for spec in collect_transactions(baseline_config(), 60.0):
+            assert 0.1 <= spec.slack <= 1.0
+
+    def test_compute_time_distribution(self):
+        specs = collect_transactions(baseline_config(), 300.0)
+        mean = sum(s.compute_time for s in specs) / len(specs)
+        assert mean == pytest.approx(0.12, abs=0.01)
+
+    def test_execution_estimate_and_deadline(self):
+        specs = collect_transactions(baseline_config(), 10.0)
+        spec = specs[0]
+        estimate = spec.execution_estimate(x_lookup=4000, ips=50e6)
+        assert estimate == pytest.approx(
+            spec.compute_time + len(spec.reads) * 8e-5
+        )
+        assert spec.deadline(4000, 50e6) == pytest.approx(
+            spec.arrival_time + estimate + spec.slack
+        )
+
+    def test_view_class_follows_value_class(self):
+        for spec in collect_transactions(baseline_config(), 20.0):
+            expected = ObjectClass.VIEW_HIGH if spec.high_value else ObjectClass.VIEW_LOW
+            assert spec.view_class is expected
+
+    def test_same_seed_same_specs(self):
+        a = collect_transactions(baseline_config(), 20.0)
+        b = collect_transactions(baseline_config(), 20.0)
+        assert [(s.seq, s.value, s.reads, s.slack) for s in a] == [
+            (s.seq, s.value, s.reads, s.slack) for s in b
+        ]
