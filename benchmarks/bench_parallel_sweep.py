@@ -1,0 +1,63 @@
+"""Benchmarks of the parallel sweep harness and the persistent cache.
+
+Measures the three execution modes of one small-but-real sweep (6 cells
+of 8 simulated seconds each): serial, fanned out over worker processes,
+and replayed from a warm on-disk cache.  The parallel run must produce
+bit-identical results; the cached run must skip the simulations entirely.
+"""
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.sweeps import ExperimentScale, run_sweep, scaled_baseline
+
+SCALE = ExperimentScale(duration=8.0, warmup=2.0, label="bench-sweep")
+GRID = (5.0, 15.0)
+ALGORITHMS = ("UF", "TF", "OD")
+
+
+def _base_config():
+    return scaled_baseline(SCALE)
+
+
+def _sweep(workers=1, cache=None):
+    return run_sweep(
+        _base_config(),
+        "lambda_t",
+        GRID,
+        lambda config, x: config.with_transactions(arrival_rate=x),
+        ALGORITHMS,
+        workers=workers,
+        cache=cache,
+    )
+
+
+def test_sweep_serial(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert len(sweep.points) == len(GRID) * len(ALGORITHMS)
+
+
+def test_sweep_parallel_2_workers(benchmark):
+    sweep = benchmark.pedantic(
+        _sweep, kwargs={"workers": 2}, rounds=1, iterations=1
+    )
+    serial = _sweep()
+    assert [p.result for p in sweep.points] == [p.result for p in serial.points]
+
+
+@pytest.mark.parametrize("workers", [4])
+def test_sweep_parallel_4_workers(benchmark, workers):
+    sweep = benchmark.pedantic(
+        _sweep, kwargs={"workers": workers}, rounds=1, iterations=1
+    )
+    assert len(sweep.points) == len(GRID) * len(ALGORITHMS)
+
+
+def test_sweep_warm_cache_replay(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = _sweep(cache=cache)
+    assert cache.misses == len(cold.points)
+
+    warm = benchmark(lambda: _sweep(cache=cache))
+    assert cache.misses == len(cold.points)  # nothing recomputed since
+    assert [p.result for p in warm.points] == [p.result for p in cold.points]

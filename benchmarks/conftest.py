@@ -9,9 +9,56 @@ Scale: by default each simulated point runs for 60 seconds with a 12-second
 warmup; set ``REPRO_FULL=1`` for the paper's 1000-second points.
 """
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.sweeps import ExperimentScale
+
+#: Machine-readable performance trajectory, appended to on every benchmark
+#: session (pytest benchmarks/).  Committed so regressions are visible in
+#: review; see docs/PERFORMANCE.md.
+PERF_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: The engine-throughput benchmark dispatches exactly this many events, so
+#: events/second falls straight out of its mean runtime.
+ENGINE_BENCH_EVENTS = 50_000
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's benchmark stats to ``BENCH_perf.json``."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    stats = {}
+    for bench in benchmark_session.benchmarks:
+        entry = {
+            "mean_s": bench.stats.mean,
+            "min_s": bench.stats.min,
+            "stddev_s": bench.stats.stddev,
+            "rounds": bench.stats.rounds,
+        }
+        if bench.name == "test_engine_event_throughput":
+            entry["events_per_second"] = ENGINE_BENCH_EVENTS / bench.stats.mean
+        stats[bench.fullname] = entry
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "exit_status": exitstatus,
+        "benchmarks": stats,
+    }
+    try:
+        history = json.loads(PERF_JSON.read_text())
+        if not isinstance(history, list):
+            history = [history]
+    except (OSError, ValueError):
+        history = []
+    history.append(record)
+    PERF_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

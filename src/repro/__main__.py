@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reserved update share for FX (default 0.2)")
     parser.add_argument("--replications", type=int, default=1,
                         help="independent replications; > 1 prints mean ± CI")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for replicated runs (default: "
+                        "$REPRO_WORKERS or the CPU count); results are "
+                        "identical to --workers 1")
     return parser
 
 
@@ -89,9 +93,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.replications > 1:
         from repro.experiments.replication import run_replicated
+        from repro.experiments.sweeps import default_workers
 
+        workers = args.workers if args.workers is not None else default_workers()
         replicated = run_replicated(
-            config, args.algorithm, args.replications, **kwargs
+            config, args.algorithm, args.replications, workers=workers, **kwargs
         )
         rows = [
             (name, s.mean, s.ci_halfwidth, s.stdev, s.minimum, s.maximum)

@@ -195,17 +195,25 @@ class UpdateQueue:
 
     def oldest(self) -> Update | None:
         """The queued update with the oldest generation, without removing."""
-        for update in self._items:
+        items = self._items
+        for index in range(self._head, len(items)):
+            update = items[index]
             if update.queued:
                 return update
         return None
 
     def newest(self) -> Update | None:
         """The queued update with the newest generation, without removing."""
-        for update in reversed(self._items):
+        items = self._items
+        for index in range(len(items) - 1, self._head - 1, -1):
+            update = items[index]
             if update.queued:
                 return update
         return None
+
+    def peek_next(self, lifo: bool) -> Update | None:
+        """The update :meth:`pop_next` would return, without removing it."""
+        return self.newest() if lifo else self.oldest()
 
     def __len__(self) -> int:
         return self._live
@@ -331,6 +339,13 @@ class PartitionedUpdateQueue:
         if update is not None:
             return update
         return self.low.pop_next(lifo, now)
+
+    def peek_next(self, lifo: bool) -> Update | None:
+        """The update :meth:`pop_next` would return, without removing it."""
+        update = self.high.peek_next(lifo)
+        if update is not None:
+            return update
+        return self.low.peek_next(lifo)
 
     def remove(self, update: Update, now: float) -> None:
         self._part(update.klass).remove(update, now)

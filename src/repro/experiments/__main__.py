@@ -4,7 +4,13 @@ Usage::
 
     python -m repro.experiments --figure 5        # one figure, quick scale
     python -m repro.experiments --all             # every figure + ablations
+    python -m repro.experiments --all --workers 8   # parallel fan-out
+    python -m repro.experiments --all --no-cache    # force recomputation
     REPRO_FULL=1 python -m repro.experiments --all  # paper scale (1000 s/point)
+
+Sweep cells fan out over ``--workers`` processes (results are identical to
+a serial run) and completed cells are memoized under ``--cache-dir``, so
+rerunning any figure with a warm cache is near-instant.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ import argparse
 import sys
 import time
 
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.figures import FIGURES, build_figure
-from repro.experiments.sweeps import ExperimentScale
+from repro.experiments.sweeps import ExperimentScale, default_workers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,7 +55,35 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the full report to this file",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for the simulation fan-out "
+        "(default: $REPRO_WORKERS or the CPU count); results are "
+        "identical to --workers 1",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of using the persistent cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
     args = parser.parse_args(argv)
+
+    workers = args.workers if args.workers is not None else default_workers()
+    if workers < 1:
+        parser.error(f"--workers must be >= 1, got {workers}")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
 
     if args.all:
         figure_ids = list(FIGURES)
@@ -60,7 +95,8 @@ def main(argv: list[str] | None = None) -> int:
     scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale.from_env()
     header = (
         f"scale: {scale.label} ({scale.duration:g}s/point, "
-        f"{scale.warmup:g}s warmup)"
+        f"{scale.warmup:g}s warmup); workers: {workers}; cache: "
+        + (str(cache.root) if cache is not None else "off")
     )
     print(header)
 
@@ -68,7 +104,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     for figure_id in figure_ids:
         start = time.time()
-        figure = build_figure(figure_id, scale)
+        figure = build_figure(figure_id, scale, workers=workers, cache=cache)
         block = figure.render()
         if args.charts:
             from repro.experiments.plots import render_figure
@@ -81,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
         report_lines.append(block)
         failures += len(figure.failed_checks())
 
+    if cache is not None:
+        print(f"[cache {cache.root}: {cache.hits} hit(s), {cache.misses} miss(es)]")
     verdict = (
         f"{failures} shape check(s) FAILED" if failures else "all shape checks passed"
     )

@@ -24,13 +24,16 @@ from repro.config import (
 )
 from repro.core.algorithms.registry import PAPER_ALGORITHMS
 from repro.core.simulator import run_simulation
+from repro.experiments.cache import ResultCache
 from repro.experiments.sweeps import (
     ExperimentScale,
     Sweep,
+    map_cells,
     run_sweep,
     scaled_baseline,
 )
 from repro.metrics.report import format_table
+from repro.metrics.results import SimulationResult
 
 #: The transaction-arrival grid of the lambda_t sweeps (paper x-axis 0-25).
 LAMBDA_T_GRID = (1.0, 5.0, 10.0, 15.0, 20.0, 25.0)
@@ -107,6 +110,17 @@ class Figure:
 # ---------------------------------------------------------------------------
 _SWEEP_CACHE: dict[tuple[str, str], Sweep] = {}
 
+#: The most recent persistent cache handed to a builder.  Kept so
+#: :func:`clear_sweep_cache` can purge the on-disk store along with the
+#: in-process memo (tests and the CLI rely on one call wiping both).
+_ACTIVE_DISK_CACHE: ResultCache | None = None
+
+
+def _note_disk_cache(cache: ResultCache | None) -> None:
+    global _ACTIVE_DISK_CACHE
+    if cache is not None:
+        _ACTIVE_DISK_CACHE = cache
+
 
 def _cached(scale: ExperimentScale, name: str, build: Callable[[], Sweep]) -> Sweep:
     key = (scale.label, name)
@@ -118,8 +132,72 @@ def _cached(scale: ExperimentScale, name: str, build: Callable[[], Sweep]) -> Sw
 
 
 def clear_sweep_cache() -> None:
-    """Drop all cached sweeps (tests use this for isolation)."""
+    """Drop all cached sweeps, in memory and on disk.
+
+    Clears the per-process memo and, if a persistent :class:`ResultCache`
+    has been used this process, deletes its stored entries too (tests use
+    this for isolation).
+    """
     _SWEEP_CACHE.clear()
+    if _ACTIVE_DISK_CACHE is not None:
+        _ACTIVE_DISK_CACHE.clear()
+
+
+def _sim_cell(args: tuple) -> SimulationResult:
+    """Worker entry for one ablation cell (picklable)."""
+    config, name, kwargs = args
+    return run_simulation(config, name, **kwargs)
+
+
+def _transformed_sim_cell(args: tuple) -> SimulationResult:
+    """Worker for the view-complexity ablation: installs run through an
+    exponentially-weighted average transformer on both view classes."""
+    from repro.core.simulator import Simulation
+    from repro.db.objects import ObjectClass
+    from repro.db.transforms import exponential_average
+
+    config, name, kwargs = args
+    sim = Simulation(config, name, **kwargs)
+    sim.database.set_transformer(ObjectClass.VIEW_LOW, exponential_average(0.3))
+    sim.database.set_transformer(ObjectClass.VIEW_HIGH, exponential_average(0.3))
+    return sim.run()
+
+
+def _run_cells(
+    worker: Callable,
+    cells: Sequence[tuple],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    extra: str = "",
+) -> list[SimulationResult]:
+    """Run ``(config, algorithm, kwargs)`` cells through the cache + pool.
+
+    The ablation builders' inline loops all funnel through here so they
+    get the same parallel fan-out and persistent memoization as
+    :func:`~repro.experiments.sweeps.run_sweep`.  ``extra`` tags cells
+    whose behaviour the config alone cannot address (e.g. an installed
+    update transformer) so they never collide with plain runs.
+    """
+    _note_disk_cache(cache)
+    results: list[SimulationResult | None] = [None] * len(cells)
+    if cache is not None:
+        misses = []
+        for position, (config, name, kwargs) in enumerate(cells):
+            hit = cache.get(config, name, kwargs, extra)
+            if hit is not None:
+                results[position] = hit
+            else:
+                misses.append(position)
+    else:
+        misses = list(range(len(cells)))
+    if misses:
+        computed = map_cells(worker, [cells[i] for i in misses], workers)
+        for position, result in zip(misses, computed):
+            results[position] = result
+            if cache is not None:
+                config, name, kwargs = cells[position]
+                cache.put(config, name, result, kwargs, extra)
+    return results
 
 
 def _lambda_t_sweep(
@@ -128,7 +206,11 @@ def _lambda_t_sweep(
     mutate: Callable[[SimulationConfig], SimulationConfig] | None = None,
     grid: Sequence[float] = LAMBDA_T_GRID,
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> Sweep:
+    _note_disk_cache(cache)
+
     def build() -> Sweep:
         base = scaled_baseline(scale)
         if mutate is not None:
@@ -139,26 +221,36 @@ def _lambda_t_sweep(
             grid,
             lambda config, x: config.with_transactions(arrival_rate=x),
             algorithms,
+            workers=workers,
+            cache=cache,
         )
 
     return _cached(scale, name, build)
 
 
-def baseline_sweep(scale: ExperimentScale) -> Sweep:
+def baseline_sweep(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Sweep:
     """MA, no stale aborts, FIFO — feeds Figures 3, 4, 5, 6, 11, 12, 13."""
-    return _lambda_t_sweep(scale, "baseline")
+    return _lambda_t_sweep(scale, "baseline", workers=workers, cache=cache)
 
 
-def lifo_sweep(scale: ExperimentScale) -> Sweep:
+def lifo_sweep(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Sweep:
     """The baseline sweep with LIFO queue service (Figure 11)."""
     return _lambda_t_sweep(
         scale,
         "lifo",
         lambda config: config.with_system(queue_discipline=QueueDiscipline.LIFO),
+        workers=workers,
+        cache=cache,
     )
 
 
-def abort_sweep(scale: ExperimentScale) -> Sweep:
+def abort_sweep(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Sweep:
     """MA with abort-on-stale-read (Figures 12, 13, 14)."""
     return _lambda_t_sweep(
         scale,
@@ -166,16 +258,22 @@ def abort_sweep(scale: ExperimentScale) -> Sweep:
         lambda config: config.with_transactions(
             stale_read_action=StaleReadAction.ABORT
         ),
+        workers=workers,
+        cache=cache,
     )
 
 
-def uu_sweep(scale: ExperimentScale) -> Sweep:
+def uu_sweep(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Sweep:
     """UU staleness, no aborts (Figure 16)."""
     return _lambda_t_sweep(
         scale,
         "uu",
         lambda config: config.replace(staleness=StalenessPolicy.UNAPPLIED_UPDATE),
         grid=LAMBDA_T_GRID_UU,
+        workers=workers,
+        cache=cache,
     )
 
 
@@ -210,9 +308,11 @@ def _monotone_increasing(values: Sequence[float], slack: float = 0.02) -> bool:
 # ---------------------------------------------------------------------------
 # Figures 3-6: the baseline lambda_t sweep
 # ---------------------------------------------------------------------------
-def figure_3(scale: ExperimentScale) -> Figure:
+def figure_3(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """CPU time split between transactions and updates vs lambda_t."""
-    sweep = baseline_sweep(scale)
+    sweep = baseline_sweep(scale, workers, cache)
     uf_rho_u = sweep.values("UF", "rho_updates")
     tf_rho_u = sweep.values("TF", "rho_updates")
     checks = [
@@ -250,9 +350,11 @@ def figure_3(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_4(scale: ExperimentScale) -> Figure:
+def figure_4(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Missed deadlines and average value vs lambda_t."""
-    sweep = baseline_sweep(scale)
+    sweep = baseline_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID[-1]
     checks = [
         _check(
@@ -301,9 +403,11 @@ def figure_4(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_5(scale: ExperimentScale) -> Figure:
+def figure_5(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Stale fractions of the two view partitions vs lambda_t."""
-    sweep = baseline_sweep(scale)
+    sweep = baseline_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID[-1]
     checks = [
         _check(
@@ -338,9 +442,11 @@ def figure_5(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_6(scale: ExperimentScale) -> Figure:
+def figure_6(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Fresh-and-timely success rates vs lambda_t."""
-    sweep = baseline_sweep(scale)
+    sweep = baseline_sweep(scale, workers, cache)
     checks = [
         _check(
             "OD has the best p_success over the whole load range",
@@ -392,8 +498,11 @@ def figure_6(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figures 7-8: update cost sensitivity
 # ---------------------------------------------------------------------------
-def figure_7(scale: ExperimentScale) -> Figure:
+def figure_7(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """AV vs the install cost x_update and the queue-insert cost x_queue."""
+    _note_disk_cache(cache)
     base = scaled_baseline(scale)
     update_sweep = _cached(
         scale,
@@ -404,6 +513,8 @@ def figure_7(scale: ExperimentScale) -> Figure:
             (4000.0, 10000.0, 20000.0, 35000.0, 50000.0),
             lambda config, x: config.with_system(x_update=int(x)),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
     queue_sweep = _cached(
@@ -415,6 +526,8 @@ def figure_7(scale: ExperimentScale) -> Figure:
             (0.0, 1000.0, 2500.0, 5000.0),
             lambda config, x: config.with_system(x_queue=int(x)),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
 
@@ -455,8 +568,11 @@ def figure_7(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_8(scale: ExperimentScale) -> Figure:
+def figure_8(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """AV vs the queue scan cost x_scan (only OD scans)."""
+    _note_disk_cache(cache)
     base = scaled_baseline(scale)
     sweep = _cached(
         scale,
@@ -467,6 +583,8 @@ def figure_8(scale: ExperimentScale) -> Figure:
             (0.0, 2000.0, 5000.0, 10000.0),
             lambda config, x: config.with_system(x_scan=int(x)),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
     od = sweep.values("OD", "average_value")
@@ -499,8 +617,11 @@ def figure_8(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figure 9: update arrival rate
 # ---------------------------------------------------------------------------
-def figure_9(scale: ExperimentScale) -> Figure:
+def figure_9(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """p_success and AV vs the update arrival rate lambda_u."""
+    _note_disk_cache(cache)
     base = scaled_baseline(scale)
     sweep = _cached(
         scale,
@@ -511,6 +632,8 @@ def figure_9(scale: ExperimentScale) -> Figure:
             (200.0, 300.0, 400.0, 500.0, 600.0),
             lambda config, x: config.with_updates(arrival_rate=x),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
     uf_av = sweep.values("UF", "average_value")
@@ -557,8 +680,11 @@ def figure_9(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figure 10: maximum age
 # ---------------------------------------------------------------------------
-def figure_10(scale: ExperimentScale) -> Figure:
+def figure_10(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """AV vs alpha, with and without rescaling the view size."""
+    _note_disk_cache(cache)
     base = scaled_baseline(scale)
     alphas = (3.0, 5.0, 7.0, 9.0)
     alpha_sweep = _cached(
@@ -570,6 +696,8 @@ def figure_10(scale: ExperimentScale) -> Figure:
             alphas,
             lambda config, x: config.with_transactions(max_age=x),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
 
@@ -583,7 +711,13 @@ def figure_10(scale: ExperimentScale) -> Figure:
         scale,
         "alpha-scaled",
         lambda: run_sweep(
-            base, "alpha", alphas, with_scaled_views, PAPER_ALGORITHMS
+            base,
+            "alpha",
+            alphas,
+            with_scaled_views,
+            PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
     checks = []
@@ -622,10 +756,12 @@ def figure_10(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figure 11: FIFO vs LIFO
 # ---------------------------------------------------------------------------
-def figure_11(scale: ExperimentScale) -> Figure:
+def figure_11(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """FIFO/LIFO ratios of staleness and success vs lambda_t."""
-    fifo = baseline_sweep(scale)
-    lifo = lifo_sweep(scale)
+    fifo = baseline_sweep(scale, workers, cache)
+    lifo = lifo_sweep(scale, workers, cache)
     fold_ratio = _ratio_panel(
         fifo, lifo, "fold_low", "(a) fold_l(FIFO) / fold_l(LIFO)"
     )
@@ -673,10 +809,12 @@ def figure_11(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figures 12-14: MA with abort-on-stale
 # ---------------------------------------------------------------------------
-def figure_12(scale: ExperimentScale) -> Figure:
+def figure_12(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """High-importance staleness when stale reads abort transactions."""
-    aborting = abort_sweep(scale)
-    plain = baseline_sweep(scale)
+    aborting = abort_sweep(scale, workers, cache)
+    plain = baseline_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID[-1]
     tf_ratio = aborting.result(last, "TF").fold_high / max(
         plain.result(last, "TF").fold_high, 1e-9
@@ -715,10 +853,12 @@ def figure_12(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_13(scale: ExperimentScale) -> Figure:
+def figure_13(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Average value when stale reads abort transactions."""
-    aborting = abort_sweep(scale)
-    plain = baseline_sweep(scale)
+    aborting = abort_sweep(scale, workers, cache)
+    plain = baseline_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID[-1]
     od_av = aborting.result(last, "OD").average_value
     checks = [
@@ -769,9 +909,11 @@ def figure_13(scale: ExperimentScale) -> Figure:
     )
 
 
-def figure_14(scale: ExperimentScale) -> Figure:
+def figure_14(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Success rate when stale reads abort transactions."""
-    aborting = abort_sweep(scale)
+    aborting = abort_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID[-1]
     checks = [
         _check(
@@ -811,8 +953,11 @@ def figure_14(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figure 15: where in the transaction the view reads happen
 # ---------------------------------------------------------------------------
-def figure_15(scale: ExperimentScale) -> Figure:
+def figure_15(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """AV vs p_view (fraction of work done before the reads), with aborts."""
+    _note_disk_cache(cache)
     base = scaled_baseline(scale).with_transactions(
         stale_read_action=StaleReadAction.ABORT
     )
@@ -825,6 +970,8 @@ def figure_15(scale: ExperimentScale) -> Figure:
             (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
             lambda config, x: config.with_transactions(p_view=x),
             PAPER_ALGORITHMS,
+            workers=workers,
+            cache=cache,
         ),
     )
 
@@ -856,9 +1003,11 @@ def figure_15(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Figure 16: the UU staleness definition
 # ---------------------------------------------------------------------------
-def figure_16(scale: ExperimentScale) -> Figure:
+def figure_16(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """p_success vs lambda_t under Unapplied-Update staleness."""
-    sweep = uu_sweep(scale)
+    sweep = uu_sweep(scale, workers, cache)
     last = LAMBDA_T_GRID_UU[-1]
     order = sorted(
         PAPER_ALGORITHMS,
@@ -891,17 +1040,22 @@ def figure_16(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Ablations (paper future-work items; see DESIGN.md)
 # ---------------------------------------------------------------------------
-def ablation_indexed_queue(scale: ExperimentScale) -> Figure:
+def ablation_indexed_queue(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """OD with the hash-indexed update queue vs the linear-scan queue."""
     base = scaled_baseline(scale).with_system(x_scan=2000)
     grid = (5.0, 10.0, 15.0, 20.0)
-    columns_av: dict[str, list[tuple[float, float]]] = {"OD": [], "OD-IDX": []}
-    columns_ps: dict[str, list[tuple[float, float]]] = {"OD": [], "OD-IDX": []}
+    cells = []
     for x in grid:
         plain_config = base.with_transactions(arrival_rate=x)
-        indexed_config = plain_config.with_system(indexed_update_queue=True)
-        plain = run_simulation(plain_config, "OD")
-        indexed = run_simulation(indexed_config, "OD")
+        cells.append((plain_config, "OD", {}))
+        cells.append((plain_config.with_system(indexed_update_queue=True),
+                      "OD", {}))
+    results = _run_cells(_sim_cell, cells, workers, cache)
+    columns_av: dict[str, list[tuple[float, float]]] = {"OD": [], "OD-IDX": []}
+    columns_ps: dict[str, list[tuple[float, float]]] = {"OD": [], "OD-IDX": []}
+    for x, plain, indexed in zip(grid, results[::2], results[1::2]):
         columns_av["OD"].append((x, plain.average_value))
         columns_av["OD-IDX"].append((x, indexed.average_value))
         columns_ps["OD"].append((x, plain.p_success))
@@ -928,17 +1082,20 @@ def ablation_indexed_queue(scale: ExperimentScale) -> Figure:
     )
 
 
-def ablation_fixed_fraction(scale: ExperimentScale) -> Figure:
+def ablation_fixed_fraction(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """FX: sweep the reserved update fraction at baseline load."""
     base = scaled_baseline(scale)
     fractions = (0.0, 0.1, 0.2, 0.3, 0.5)
+    cells = [(base, "FX", {"fraction": fraction}) for fraction in fractions]
+    results = _run_cells(_sim_cell, cells, workers, cache)
     columns: dict[str, list[tuple[float, float]]] = {
         "p_success": [],
         "AV": [],
         "fold_l": [],
     }
-    for fraction in fractions:
-        result = run_simulation(base, "FX", fraction=fraction)
+    for fraction, result in zip(fractions, results):
         columns["p_success"].append((fraction, result.p_success))
         columns["AV"].append((fraction, result.average_value))
         columns["fold_l"].append((fraction, result.fold_low))
@@ -958,8 +1115,11 @@ def ablation_fixed_fraction(scale: ExperimentScale) -> Figure:
     )
 
 
-def ablation_split_queue(scale: ExperimentScale) -> Figure:
+def ablation_split_queue(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """TF vs TF with per-importance queues (high served first)."""
+    _note_disk_cache(cache)
     sweep = _cached(
         scale,
         "tf-split",
@@ -969,6 +1129,8 @@ def ablation_split_queue(scale: ExperimentScale) -> Figure:
             (5.0, 10.0, 15.0, 20.0),
             lambda config, x: config.with_transactions(arrival_rate=x),
             ("TF", "TF-SPLIT"),
+            workers=workers,
+            cache=cache,
         ),
     )
     mid = 10.0
@@ -992,17 +1154,22 @@ def ablation_split_queue(scale: ExperimentScale) -> Figure:
     )
 
 
-def ablation_preemption(scale: ExperimentScale) -> Figure:
+def ablation_preemption(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Transaction-preemption (Table 3 'preemption') on vs off."""
     base = scaled_baseline(scale)
     grid = (5.0, 10.0, 15.0, 20.0)
-    columns_md: dict[str, list[tuple[float, float]]] = {"TF": [], "TF+preempt": []}
-    columns_av: dict[str, list[tuple[float, float]]] = {"TF": [], "TF+preempt": []}
+    cells = []
     for x in grid:
         off_config = base.with_transactions(arrival_rate=x)
-        on_config = off_config.with_system(transaction_preemption=True)
-        off = run_simulation(off_config, "TF")
-        on = run_simulation(on_config, "TF")
+        cells.append((off_config, "TF", {}))
+        cells.append((off_config.with_system(transaction_preemption=True),
+                      "TF", {}))
+    results = _run_cells(_sim_cell, cells, workers, cache)
+    columns_md: dict[str, list[tuple[float, float]]] = {"TF": [], "TF+preempt": []}
+    columns_av: dict[str, list[tuple[float, float]]] = {"TF": [], "TF+preempt": []}
+    for x, off, on in zip(grid, results[::2], results[1::2]):
         columns_md["TF"].append((x, off.p_md))
         columns_md["TF+preempt"].append((x, on.p_md))
         columns_av["TF"].append((x, off.average_value))
@@ -1029,7 +1196,9 @@ def ablation_preemption(scale: ExperimentScale) -> Figure:
     )
 
 
-def ablation_view_complexity(scale: ExperimentScale) -> Figure:
+def ablation_view_complexity(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """View complexity (paper §2): heavier installs via update transformers.
 
     Every install runs an exponentially-weighted running average costing
@@ -1037,27 +1206,25 @@ def ablation_view_complexity(scale: ExperimentScale) -> Figure:
     that install everything (UF) pay for complexity on the whole stream,
     while OD pays only for what transactions actually need.
     """
-    from repro.core.simulator import Simulation
-    from repro.db.objects import ObjectClass
-    from repro.db.transforms import exponential_average
-
     base = scaled_baseline(scale)
     costs = (0.0, 10000.0, 20000.0, 40000.0)
+    cells = [
+        (base.with_system(x_transform=int(cost)), name, {})
+        for cost in costs
+        for name in ("UF", "OD")
+    ]
+    # The transformer is run-time state the config cannot express, so the
+    # cells carry an ``extra`` tag to keep them apart from plain runs.
+    results = _run_cells(
+        _transformed_sim_cell, cells, workers, cache,
+        extra="transformer:exponential_average(0.3)",
+    )
     columns_av: dict[str, list[tuple[float, float]]] = {"UF": [], "OD": []}
     columns_fold: dict[str, list[tuple[float, float]]] = {"UF": [], "OD": []}
-    for cost in costs:
-        config = base.with_system(x_transform=int(cost))
-        for name in ("UF", "OD"):
-            sim = Simulation(config, name)
-            sim.database.set_transformer(
-                ObjectClass.VIEW_LOW, exponential_average(0.3)
-            )
-            sim.database.set_transformer(
-                ObjectClass.VIEW_HIGH, exponential_average(0.3)
-            )
-            result = sim.run()
-            columns_av[name].append((cost, result.average_value))
-            columns_fold[name].append((cost, result.fold_low))
+    for (config, name, _), result in zip(cells, results):
+        cost = float(config.system.x_transform)
+        columns_av[name].append((cost, result.average_value))
+        columns_fold[name].append((cost, result.fold_low))
     uf_drop = columns_av["UF"][0][1] - columns_av["UF"][-1][1]
     od_drop = columns_av["OD"][0][1] - columns_av["OD"][-1][1]
     checks = [
@@ -1078,7 +1245,9 @@ def ablation_view_complexity(scale: ExperimentScale) -> Figure:
     )
 
 
-def ablation_bursty_feed(scale: ExperimentScale) -> Figure:
+def ablation_bursty_feed(
+    scale: ExperimentScale, workers: int = 1, cache: ResultCache | None = None
+) -> Figure:
     """Bursty (peak/off-peak) feed vs the paper's stationary Poisson stream.
 
     The paper motivates the problem with market feeds reaching 500
@@ -1092,8 +1261,7 @@ def ablation_bursty_feed(scale: ExperimentScale) -> Figure:
     base = scaled_baseline(scale)
     factors = (1.0, 2.0, 3.0)
     algorithms = ("UF", "TF", "OD")
-    columns_ps: dict[str, list[tuple[float, float]]] = {a: [] for a in algorithms}
-    columns_md: dict[str, list[tuple[float, float]]] = {a: [] for a in algorithms}
+    cells = []
     for factor in factors:
         if factor == 1.0:
             config = base
@@ -1105,7 +1273,14 @@ def ablation_bursty_feed(scale: ExperimentScale) -> Figure:
                 burst_dwell_mean=2.0,
             )
         for name in algorithms:
-            result = run_simulation(config, name)
+            cells.append((config, name, {}))
+    results = _run_cells(_sim_cell, cells, workers, cache)
+    columns_ps: dict[str, list[tuple[float, float]]] = {a: [] for a in algorithms}
+    columns_md: dict[str, list[tuple[float, float]]] = {a: [] for a in algorithms}
+    pairs = zip(cells, results)
+    for factor in factors:
+        for name in algorithms:
+            _, result = next(pairs)
             columns_ps[name].append((factor, result.p_success))
             columns_md[name].append((factor, result.p_md))
     uf_md = [y for _, y in columns_md["UF"]]
@@ -1130,7 +1305,7 @@ def ablation_bursty_feed(scale: ExperimentScale) -> Figure:
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
-FIGURES: dict[str, Callable[[ExperimentScale], Figure]] = {
+FIGURES: dict[str, Callable[..., Figure]] = {
     "3": figure_3,
     "4": figure_4,
     "5": figure_5,
@@ -1154,10 +1329,24 @@ FIGURES: dict[str, Callable[[ExperimentScale], Figure]] = {
 }
 
 
-def build_figure(figure_id: str, scale: ExperimentScale | None = None) -> Figure:
-    """Build one figure's reproduction at the given (or env-derived) scale."""
+def build_figure(
+    figure_id: str,
+    scale: ExperimentScale | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> Figure:
+    """Build one figure's reproduction at the given (or env-derived) scale.
+
+    Args:
+        figure_id: Paper figure number ("3".."16") or ablation id ("A1"..).
+        scale: Experiment scale; env-derived when omitted.
+        workers: Process count for the simulation fan-out; results are
+            identical to a serial build.
+        cache: Optional persistent result cache shared across figures.
+    """
     builder = FIGURES.get(str(figure_id))
     if builder is None:
         known = ", ".join(FIGURES)
         raise KeyError(f"unknown figure {figure_id!r}; known: {known}")
-    return builder(scale or ExperimentScale.from_env())
+    _note_disk_cache(cache)
+    return builder(scale or ExperimentScale.from_env(), workers, cache)

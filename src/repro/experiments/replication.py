@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.config import SimulationConfig
 from repro.core.simulator import run_simulation
+from repro.experiments.sweeps import map_cells
 from repro.metrics.results import SimulationResult
 from repro.sim.streams import derive_seed
 
@@ -121,10 +122,17 @@ class ReplicatedResult:
         return self.metric(name).mean
 
 
+def _run_replica(args: tuple) -> SimulationResult:
+    """Worker entry for one replication (picklable)."""
+    config, algorithm, kwargs = args
+    return run_simulation(config, algorithm, **kwargs)
+
+
 def run_replicated(
     config: SimulationConfig,
     algorithm: str,
     replications: int = 5,
+    workers: int = 1,
     **algorithm_kwargs,
 ) -> ReplicatedResult:
     """Run ``replications`` independent copies of one simulation cell.
@@ -132,15 +140,22 @@ def run_replicated(
     Replication ``i`` uses ``derive_seed(config.seed, "replication:i")``,
     so the i-th replication of every *algorithm* under the same base config
     still shares its workload (paired comparisons stay noise-free).
+
+    ``workers > 1`` fans the replications out over a process pool; each
+    replication is independently seeded, so results are identical to the
+    serial run.
     """
     if replications < 1:
         raise ValueError(f"need at least 1 replication, got {replications}")
-    results = []
-    for index in range(replications):
-        replica = config.replace(
-            seed=derive_seed(config.seed, f"replication:{index}")
+    cells = [
+        (
+            config.replace(seed=derive_seed(config.seed, f"replication:{index}")),
+            algorithm,
+            algorithm_kwargs,
         )
-        results.append(run_simulation(replica, algorithm, **algorithm_kwargs))
+        for index in range(replications)
+    ]
+    results = map_cells(_run_replica, cells, workers)
     summaries = {
         name: summarize(name, [getattr(r, name) for r in results])
         for name in NUMERIC_METRICS
@@ -157,9 +172,12 @@ def compare_algorithms(
     algorithms: Sequence[str],
     metric: str,
     replications: int = 5,
+    workers: int = 1,
 ) -> dict[str, MetricSummary]:
     """Replicated paired comparison of one metric across algorithms."""
     return {
-        name: run_replicated(config, name, replications).metric(metric)
+        name: run_replicated(config, name, replications, workers=workers).metric(
+            metric
+        )
         for name in algorithms
     }

@@ -10,15 +10,38 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.config import SimulationConfig, baseline_config
 from repro.core.simulator import run_simulation
 from repro.metrics.results import SimulationResult
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.experiments.cache import ResultCache
+
 #: Environment variable that switches every experiment to the paper's full
 #: scale (1000 simulated seconds per point).
 FULL_SCALE_ENV = "REPRO_FULL"
+
+#: Environment variable overriding the default process count for parallel
+#: sweeps (the CLIs fall back to ``os.cpu_count()``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count for the CLIs: ``$REPRO_WORKERS`` or ``os.cpu_count()``."""
+    override = os.environ.get(WORKERS_ENV, "").strip()
+    if override:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {override!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -66,26 +89,43 @@ class SweepPoint:
 
 @dataclass
 class Sweep:
-    """All runs of one experiment."""
+    """All runs of one experiment.
+
+    Lookups go through a dict index maintained incrementally over
+    ``points`` (appends are detected by length), so :meth:`result` is O(1)
+    and :meth:`xs` is O(distinct x) instead of the linear/quadratic scans
+    a big sweep cannot afford.
+    """
 
     x_label: str
     algorithms: tuple[str, ...]
     points: list[SweepPoint] = field(default_factory=list)
+    _index: dict = field(default_factory=dict, repr=False, compare=False)
+    _indexed: int = field(default=0, repr=False, compare=False)
+
+    def _ensure_index(self) -> dict:
+        points = self.points
+        if self._indexed > len(points):
+            # Points were removed/replaced wholesale; rebuild from scratch.
+            self._index.clear()
+            self._indexed = 0
+        if self._indexed < len(points):
+            index = self._index
+            for point in points[self._indexed:]:
+                index[(point.x, point.algorithm)] = point.result
+            self._indexed = len(points)
+        return self._index
 
     def xs(self) -> list[float]:
         """Distinct x values in run order."""
-        seen: list[float] = []
-        for point in self.points:
-            if point.x not in seen:
-                seen.append(point.x)
-        return seen
+        return list(dict.fromkeys(x for x, _ in self._ensure_index()))
 
     def result(self, x: float, algorithm: str) -> SimulationResult:
         """The result at one grid point."""
-        for point in self.points:
-            if point.x == x and point.algorithm == algorithm:
-                return point.result
-        raise KeyError(f"no point at x={x} for {algorithm}")
+        try:
+            return self._ensure_index()[(x, algorithm)]
+        except KeyError:
+            raise KeyError(f"no point at x={x} for {algorithm}") from None
 
     def series(
         self, algorithm: str, metric: str | Callable[[SimulationResult], float]
@@ -114,6 +154,23 @@ def _run_cell(args: tuple) -> SweepPoint:
                       result=run_simulation(config, name, **kwargs))
 
 
+def map_cells(worker: Callable, cells: Sequence, workers: int = 1) -> list:
+    """Map a picklable worker over independent cells, in cell order.
+
+    With ``workers > 1`` the cells fan out over a process pool; results
+    come back in submission order regardless of completion order, so a
+    parallel map is indistinguishable from a serial one.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(cells) <= 1:
+        return [worker(cell) for cell in cells]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        return list(pool.map(worker, cells))
+
+
 def run_sweep(
     base_config: SimulationConfig,
     x_label: str,
@@ -122,6 +179,7 @@ def run_sweep(
     algorithms: Sequence[str],
     algorithm_kwargs: dict[str, dict] | None = None,
     workers: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> Sweep:
     """Run ``configure(base, x)`` for every x and algorithm.
 
@@ -135,6 +193,8 @@ def run_sweep(
         workers: Process count; > 1 fans the independent cells out over a
             process pool.  Results are identical to a serial run (every
             cell is seeded independently of execution order).
+        cache: Optional persistent result cache; hits skip the simulation
+            entirely and misses are stored after running.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -145,13 +205,25 @@ def run_sweep(
         config = configure(base_config, x).validate()
         for name in algorithms:
             cells.append((x, config, name, kwargs_by_name.get(name, {})))
-    if workers == 1:
-        sweep.points.extend(_run_cell(cell) for cell in cells)
+    points: list[SweepPoint | None] = [None] * len(cells)
+    misses = []
+    if cache is not None:
+        for position, (x, config, name, kwargs) in enumerate(cells):
+            result = cache.get(config, name, kwargs)
+            if result is not None:
+                points[position] = SweepPoint(x=x, algorithm=name, result=result)
+            else:
+                misses.append(position)
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            sweep.points.extend(pool.map(_run_cell, cells))
+        misses = list(range(len(cells)))
+    if misses:
+        computed = map_cells(_run_cell, [cells[i] for i in misses], workers)
+        for position, point in zip(misses, computed):
+            points[position] = point
+            if cache is not None:
+                _, config, name, kwargs = cells[position]
+                cache.put(config, name, point.result, kwargs)
+    sweep.points.extend(points)
     return sweep
 
 

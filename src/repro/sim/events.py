@@ -25,9 +25,12 @@ class Event:
         args: Positional arguments for the callback.
         cancelled: True once :meth:`cancel` has been called; the engine
             silently discards cancelled events.
+        engine: Back-reference to the owning engine (None for detached
+            events) so cancellation can maintain the engine's cancelled-
+            event counter without a heap scan.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine")
 
     def __init__(
         self,
@@ -35,16 +38,23 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple = (),
+        engine: Any = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None:
+            engine._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:

@@ -90,6 +90,23 @@ class TestSweep:
             p.result for p in serial.points
         ]
 
+    def test_four_workers_bit_identical_to_serial(self):
+        # The determinism contract: a parallel fan-out must reproduce the
+        # serial sweep metric-for-metric (common random numbers per cell).
+        args = (
+            tiny_base(),
+            "lambda_t",
+            (2.0, 4.0, 6.0),
+            lambda config, x: config.with_transactions(arrival_rate=x),
+            ("TF", "UF", "OD"),
+        )
+        serial = run_sweep(*args, workers=1)
+        parallel = run_sweep(*args, workers=4)
+        for serial_point, parallel_point in zip(serial.points, parallel.points):
+            assert serial_point.x == parallel_point.x
+            assert serial_point.algorithm == parallel_point.algorithm
+            assert serial_point.result == parallel_point.result
+
     def test_workers_validated(self):
         with pytest.raises(ValueError):
             run_sweep(
@@ -181,18 +198,34 @@ class TestFigures:
 
 
 class TestCli:
-    def test_main_single_figure(self, capsys):
+    def test_main_single_figure(self, capsys, tmp_path):
         from repro.experiments.__main__ import main
 
         clear_sweep_cache()
         try:
             # A tiny figure is not wired into the CLI; just check the CLI
             # parses and runs one real (quick) ablation that is cheap.
-            exit_code = main(["--figure", "A2"])
+            exit_code = main(
+                ["--figure", "A2", "--workers", "1",
+                 "--cache-dir", str(tmp_path / "cache")]
+            )
         finally:
             clear_sweep_cache()
         output = capsys.readouterr().out
         assert "A2" in output
+        assert "cache" in output
+        assert exit_code in (0, 1)
+
+    def test_main_no_cache_flag(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        clear_sweep_cache()
+        try:
+            exit_code = main(["--figure", "A2", "--workers", "1", "--no-cache"])
+        finally:
+            clear_sweep_cache()
+        output = capsys.readouterr().out
+        assert "cache: off" in output
         assert exit_code in (0, 1)
 
     def test_main_requires_selection(self):

@@ -81,6 +81,12 @@ class TestReplication:
             assert ra.updates_arrived == rb.updates_arrived
             assert ra.transactions_arrived == rb.transactions_arrived
 
+    def test_parallel_replication_matches_serial(self):
+        serial = run_replicated(tiny_config(), "TF", replications=3, workers=1)
+        parallel = run_replicated(tiny_config(), "TF", replications=3, workers=2)
+        assert parallel.replications == serial.replications
+        assert parallel.summaries == serial.summaries
+
     def test_compare_algorithms(self):
         comparison = compare_algorithms(
             tiny_config(), ("TF", "UF"), "fold_low", replications=2
