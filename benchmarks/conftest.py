@@ -43,6 +43,8 @@ def pytest_sessionfinish(session, exitstatus):
         }
         if bench.name == "test_engine_event_throughput":
             entry["events_per_second"] = ENGINE_BENCH_EVENTS / bench.stats.mean
+        if bench.extra_info:
+            entry["extra_info"] = dict(bench.extra_info)
         stats[bench.fullname] = entry
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),

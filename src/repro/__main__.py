@@ -19,9 +19,20 @@ from repro.config import (
     StalenessPolicy,
     baseline_config,
 )
+from repro.core.algorithms.registry import ALGORITHMS
 from repro.core.simulator import run_simulation
 from repro.metrics.report import format_result, format_table
 from repro.metrics.validate import check_invariants
+
+
+def _algorithm_lines() -> str:
+    """One line per registered algorithm, from each class's docstring."""
+    lines = []
+    for name in sorted(ALGORITHMS):
+        doc = ALGORITHMS[name].__doc__ or ""
+        summary = doc.strip().splitlines()[0] if doc.strip() else ""
+        lines.append(f"  {name:<10} {summary}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,9 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Run one update-stream scheduling simulation "
         "(Adelberg et al., SIGMOD 1995 model).",
+        epilog="scheduling algorithms:\n" + _algorithm_lines(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--algorithm", default="OD",
-                        help="UF, TF, SU, OD, FX, or TF-SPLIT (default OD)")
+    parser.add_argument("--algorithm", default="OD", type=str.upper,
+                        choices=sorted(ALGORITHMS), metavar="ALGO",
+                        help="scheduling algorithm: "
+                        + ", ".join(sorted(ALGORITHMS)) + " (default OD)")
     parser.add_argument("--seconds", type=float, default=100.0,
                         help="simulated duration (default 100)")
     parser.add_argument("--warmup", type=float, default=None,

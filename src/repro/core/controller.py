@@ -36,7 +36,7 @@ from repro.db.staleness import StalenessChecker
 from repro.db.update_queue import UpdateQueue
 from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
 from repro.metrics.freshness import FreshnessLedger
-from repro.sim.engine import Engine
+from repro.sim.clock import Clock
 from repro.workload.transactions import TransactionSpec
 
 # select_work outcomes
@@ -82,7 +82,7 @@ class Controller:
     def __init__(
         self,
         config: SimulationConfig,
-        engine: Engine,
+        engine: Clock,
         algorithm,
         database: Database,
         os_queue: OSQueue,
@@ -117,6 +117,11 @@ class Controller:
         self._receiving: list[Update] | None = None
         self._last_owner: object = None
         self._extra_switches = 0
+        # Optional per-transaction completion hook (the live runtime uses it
+        # to resolve submission handles); called with the finished
+        # LiveTransaction after its outcome is recorded.  None costs nothing
+        # on the simulator's hot path.
+        self.outcome_listener: Callable[[LiveTransaction], None] | None = None
 
         self._stale_action = config.transactions.stale_read_action
         self._lifo = config.system.queue_discipline is QueueDiscipline.LIFO
@@ -578,18 +583,42 @@ class Controller:
         self.transaction_log.note_commit(
             txn.spec.value, txn.read_stale, txn.warned, txn.spec.high_value
         )
+        if self.outcome_listener is not None:
+            self.outcome_listener(txn)
 
     def _abort_stale(self, txn: LiveTransaction) -> None:
         txn.cancel_deadline()
         txn.state = TransactionState.ABORTED_STALE
         txn.finish_time = self.engine.now
         self.transaction_log.note_stale_abort()
+        if self.outcome_listener is not None:
+            self.outcome_listener(txn)
 
     def _finish_missed(self, txn: LiveTransaction, infeasible: bool) -> None:
         txn.cancel_deadline()
         txn.state = TransactionState.MISSED
         txn.finish_time = self.engine.now
         self.transaction_log.note_missed_deadline(infeasible)
+        if self.outcome_listener is not None:
+            self.outcome_listener(txn)
+
+    def shed_infeasible(self) -> int:
+        """Discard every ready transaction that can no longer make its deadline.
+
+        This is the feasible-deadline policy applied eagerly, outside a
+        scheduling point — the live runtime's watchdog invokes it to shed
+        load when the system falls behind real time, instead of letting a
+        doomed backlog steal CPU from transactions that can still commit.
+
+        Returns:
+            The number of transactions discarded.
+        """
+        now = self.engine.now
+        doomed = [txn for txn in self.ready if not txn.is_feasible(now)]
+        for txn in doomed:
+            self.ready.remove(txn)
+            self._finish_missed(txn, infeasible=True)
+        return len(doomed)
 
     def _deadline_fired(self, txn: LiveTransaction) -> None:
         txn.deadline_event = None

@@ -6,20 +6,19 @@
 
     result = run_simulation(baseline_config(duration=100.0), "OD")
     print(result.summary())
+
+The model itself (controller, queues, ledgers, collectors) is built by
+:mod:`repro.core.wiring`, which this facade shares with the wall-clock
+runtime in :mod:`repro.live` — a Simulation is "the wired model plus a
+virtual clock plus the Poisson workload generators".
 """
 
 from __future__ import annotations
 
 from repro.config import SimulationConfig
 from repro.core.algorithms.base import SchedulingAlgorithm
-from repro.core.algorithms.registry import make_algorithm
-from repro.core.controller import Controller
-from repro.db.database import Database
-from repro.db.os_queue import OSQueue
-from repro.db.staleness import make_staleness_checker
-from repro.db.update_queue import PartitionedUpdateQueue, UpdateQueue
-from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
-from repro.metrics.freshness import SampledLedger, make_ledger
+from repro.core.wiring import build_parts, collect_result, reset_measurement
+from repro.metrics.freshness import SampledLedger
 from repro.metrics.results import SimulationResult
 from repro.sim.engine import Engine
 from repro.sim.streams import StreamFamily
@@ -42,51 +41,22 @@ class Simulation:
         algorithm: str | SchedulingAlgorithm = "TF",
         **algorithm_kwargs,
     ) -> None:
-        config.validate()
-        self.config = config
-        if isinstance(algorithm, str):
-            algorithm = make_algorithm(algorithm, **algorithm_kwargs)
-        elif algorithm_kwargs:
-            raise ValueError("algorithm kwargs require an algorithm name")
-        self.algorithm = algorithm
-
         self.engine = Engine()
+        parts = build_parts(config, algorithm, self.engine, **algorithm_kwargs)
+        self._parts = parts
+        self.config = config
+        self.algorithm = parts.algorithm
+        self.update_queue = parts.update_queue
+        self.checker = parts.checker
+        self.ledger = parts.ledger
+        self.database = parts.database
+        self.os_queue = parts.os_queue
+        self.transaction_log = parts.transaction_log
+        self.update_accounting = parts.update_accounting
+        self.cpu = parts.cpu
+        self.controller = parts.controller
+
         self.streams = StreamFamily(config.seed)
-
-        queue_class = (
-            PartitionedUpdateQueue
-            if algorithm.wants_partitioned_queue
-            else UpdateQueue
-        )
-        self.update_queue = queue_class(
-            config.system.update_queue_max,
-            indexed=config.system.indexed_update_queue,
-        )
-        self.checker = make_staleness_checker(config, self.update_queue)
-        self.ledger = make_ledger(config, self.engine, self.checker)
-        self.database = Database.from_config(config, install_listener=self.ledger)
-        self.ledger.bind(self.database, self.update_queue)
-        self.update_queue.observer = self.ledger.on_queue_event
-        self.os_queue = OSQueue(config.system.os_queue_max)
-
-        self.transaction_log = TransactionLog()
-        self.update_accounting = UpdateAccounting()
-        self.cpu = CpuAccounting()
-
-        self.controller = Controller(
-            config=config,
-            engine=self.engine,
-            algorithm=self.algorithm,
-            database=self.database,
-            os_queue=self.os_queue,
-            update_queue=self.update_queue,
-            checker=self.checker,
-            ledger=self.ledger,
-            transaction_log=self.transaction_log,
-            update_accounting=self.update_accounting,
-            cpu=self.cpu,
-        )
-
         self.update_generator = UpdateStreamGenerator(
             config, self.engine, self.streams, self.controller.on_update_arrival
         )
@@ -143,76 +113,10 @@ class Simulation:
 
     def _warmup_reset(self) -> None:
         """Discard everything measured during warmup (content stays live)."""
-        now = self.engine.now
-        self.transaction_log.reset(self.controller.live_transaction_count())
-        pending = (
-            len(self.os_queue)
-            + len(self.controller.direct_installs)
-            + self.controller.unsettled_updates()
-            + len(self.update_queue)
-        )
-        self.update_accounting.reset(pending)
-        self.cpu.reset()
-        self.controller.note_measurement_start(now)
-        self.os_queue.reset_counters()
-        self.update_queue.reset_counters()
-        self.ledger.begin_measurement(now)
+        reset_measurement(self._parts, self.engine.now)
 
     def _collect(self, duration: float) -> SimulationResult:
-        log = self.transaction_log
-        finished = log.finished
-        p_md = 1.0 - (log.committed / finished) if finished else 0.0
-        p_success = (log.committed_fresh / finished) if finished else 0.0
-        p_suc_nontardy = (
-            log.committed_fresh / log.committed if log.committed else 0.0
-        )
-        rho_t, rho_u = self.cpu.utilization(duration)
-        from repro.db.objects import ObjectClass
-
-        return SimulationResult(
-            algorithm=self.algorithm.name,
-            staleness=self.config.staleness.value,
-            duration=duration,
-            seed=self.config.seed,
-            p_md=p_md,
-            p_success=p_success,
-            p_suc_nontardy=p_suc_nontardy,
-            average_value=log.value_earned / duration,
-            fold_low=self.ledger.stale_fraction(ObjectClass.VIEW_LOW, duration),
-            fold_high=self.ledger.stale_fraction(ObjectClass.VIEW_HIGH, duration),
-            rho_transactions=rho_t,
-            rho_updates=rho_u,
-            transactions_arrived=log.arrived,
-            transactions_committed=log.committed,
-            transactions_committed_fresh=log.committed_fresh,
-            transactions_missed=log.missed_deadline,
-            transactions_aborted_stale=log.aborted_stale,
-            transactions_infeasible=log.infeasible_aborts,
-            transactions_in_flight=log.in_flight,
-            value_earned=log.value_earned,
-            value_offered=log.value_offered,
-            stale_reads=log.stale_reads,
-            view_reads=log.view_reads,
-            updates_arrived=self.update_accounting.arrived,
-            updates_received=self.update_accounting.received,
-            updates_enqueued=self.update_accounting.enqueued,
-            updates_applied=self.update_accounting.installed_applied,
-            updates_skipped=self.update_accounting.installed_skipped,
-            updates_on_demand_applied=self.update_accounting.on_demand_applied,
-            updates_on_demand_scans=self.update_accounting.on_demand_scans,
-            updates_os_dropped=self.os_queue.dropped,
-            updates_expired=self.update_queue.expired_discards,
-            updates_overflowed=self.update_queue.overflow_discards,
-            updates_superseded=self.update_queue.superseded_discards,
-            updates_pending_os=len(self.os_queue)
-            + len(self.controller.direct_installs)
-            + self.controller.unsettled_updates(),
-            updates_pending_queue=len(self.update_queue),
-            mean_update_queue_length=self.update_accounting.mean_queue_length,
-            context_switches=self.cpu.context_switches,
-            preemptions=self.cpu.preemptions,
-            events_dispatched=self.engine.events_dispatched,
-        )
+        return collect_result(self._parts, duration)
 
 
 def run_simulation(

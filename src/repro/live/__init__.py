@@ -1,0 +1,42 @@
+"""repro.live — the wall-clock STRIP runtime.
+
+The simulator answers "what would the paper's schedulers do"; this package
+*runs* them: the same controller and scheduling algorithms (UF, TF, SU, OD,
+FX, TF-SPLIT), the same bounded OS queue (``OSmax`` overflow drops) and
+generation-ordered update queue (``UQmax`` / MA expiry), but clocked by
+``time.monotonic()`` on asyncio instead of a discrete-event calendar.  The
+queues stop being bookkeeping and become real backpressure: when the CPU
+budget cannot keep up with the ingest rate, the OS queue fills and drops,
+exactly as the paper's kernel would.
+
+Layout:
+
+* :class:`WallClock` — real-time implementation of the
+  :class:`repro.sim.Clock` contract.
+* :class:`LiveRuntime` — the wired model (via :mod:`repro.core.wiring`)
+  plus ingest/submission APIs, mid-run metric snapshots, a watchdog, and
+  graceful drain.
+* :class:`LoadGenerator` — Poisson traffic synthesized from any
+  :class:`~repro.config.SimulationConfig`, or bit-for-bit replay of a
+  recorded simulator trace.
+* :class:`MetricsStreamer` — periodic JSONL snapshots of a running system.
+* :class:`IngestServer` — optional TCP ingest (JSON lines over a socket).
+
+Run it: ``python -m repro.live serve|loadgen|bench`` (also installed as the
+``repro-live`` console script).
+"""
+
+from repro.live.clock import WallClock
+from repro.live.loadgen import LoadGenerator
+from repro.live.observe import MetricsStreamer
+from repro.live.runtime import LiveRuntime, TransactionHandle
+from repro.live.server import IngestServer
+
+__all__ = [
+    "IngestServer",
+    "LiveRuntime",
+    "LoadGenerator",
+    "MetricsStreamer",
+    "TransactionHandle",
+    "WallClock",
+]

@@ -1,0 +1,194 @@
+"""Traffic sources for the live runtime.
+
+Two modes, matching the two ways the simulator gets its workload:
+
+* **Synthesis** — Poisson update/transaction arrivals drawn from the same
+  :class:`~repro.workload.updates.UpdateStreamGenerator` /
+  :class:`~repro.workload.transactions.TransactionGenerator` draw methods
+  the simulator uses, seeded through the same named
+  :class:`~repro.sim.streams.StreamFamily`.  A live run and a simulated
+  run with the same seed therefore see the same *sequence* of updates and
+  transactions; only the arrival timestamps differ (wall-clock jitter vs.
+  exact exponential gaps).
+* **Replay** — a recorded trace (from
+  :func:`repro.workload.trace.load_trace` or a ``TraceRecorder``) is
+  scheduled at its recorded arrival times, bit-for-bit.
+
+The generator paces itself on the runtime's clock, so the same code drives
+a :class:`~repro.live.clock.WallClock` (real traffic) or an
+:class:`~repro.sim.engine.Engine` (deterministic parity tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import UpdatePattern
+from repro.db.objects import Update
+from repro.live.runtime import LiveRuntime, TransactionHandle
+from repro.sim.events import Event
+from repro.sim.streams import StreamFamily
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+
+
+class LoadGenerator:
+    """Feeds a :class:`LiveRuntime` synthesized or replayed traffic.
+
+    Args:
+        runtime: The runtime to drive.
+        seed: Root seed for the draw streams; defaults to the runtime
+            config's seed, giving draw-sequence parity with a simulator
+            run of the same config.
+
+    Attributes:
+        updates_sent / updates_dropped: Ingest attempts and OS-queue drops.
+        transactions_sent: Submitted transaction count.
+        handles: One :class:`TransactionHandle` per submitted transaction.
+    """
+
+    def __init__(self, runtime: LiveRuntime, *, seed: int | None = None) -> None:
+        self.runtime = runtime
+        self.clock = runtime.clock
+        config = runtime.config
+        if config.updates.pattern is not UpdatePattern.APERIODIC:
+            raise ValueError(
+                "LoadGenerator synthesizes the aperiodic Poisson baseline; "
+                "for periodic/bursty patterns record a simulator trace and "
+                "replay it"
+            )
+        streams = StreamFamily(seed if seed is not None else config.seed)
+        # The generators are used purely as draw sources (draw_update /
+        # draw_spec / next_interarrival); pacing stays here so stop() can
+        # cancel cleanly.
+        self._update_gen = UpdateStreamGenerator(
+            config, self.clock, streams, runtime.ingest
+        )
+        self._txn_gen = TransactionGenerator(
+            config, self.clock, streams, runtime.submit
+        )
+        self.updates_sent = 0
+        self.updates_dropped = 0
+        self.transactions_sent = 0
+        self.handles: list[TransactionHandle] = []
+        self._running = False
+        self._update_event: Event | None = None
+        self._txn_event: Event | None = None
+        self._next_update_at = 0.0
+        self._next_txn_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin Poisson synthesis of both arrival processes."""
+        if self._running:
+            raise RuntimeError("load generator is already running")
+        self._running = True
+        self._schedule_update()
+        if self.runtime.config.transactions.arrival_rate > 0:
+            self._schedule_transaction()
+
+    def stop(self) -> None:
+        """Stop generating; already-delivered traffic keeps flowing."""
+        self._running = False
+        if self._update_event is not None:
+            self._update_event.cancel()
+            self._update_event = None
+        if self._txn_event is not None:
+            self._txn_event.cancel()
+            self._txn_event = None
+
+    def _schedule_update(self) -> None:
+        self._next_update_at = self.clock.now + self._update_gen.next_interarrival()
+        self._update_event = self.clock.schedule_at(
+            self._next_update_at, self._fire_update
+        )
+
+    def _fire_update(self) -> None:
+        """Deliver the due arrival, then catch up on any already-late ones.
+
+        Pacing is absolute: each planned arrival time is the previous one
+        plus a drawn exponential gap, so the offered rate holds at
+        ``lambda_u`` even when dispatch runs late — overdue arrivals are
+        delivered in a batch from this one event instead of silently
+        stretching the process.
+        """
+        if not self._running:
+            return
+        clock = self.clock
+        while True:
+            update = self._update_gen.draw_update(clock.now)
+            self.updates_sent += 1
+            if not self.runtime.ingest(update):
+                self.updates_dropped += 1
+            self._next_update_at += self._update_gen.next_interarrival()
+            if self._next_update_at > clock.now or not self._running:
+                break
+        self._update_event = self.clock.schedule_at(
+            self._next_update_at, self._fire_update
+        )
+
+    def _schedule_transaction(self) -> None:
+        self._next_txn_at = self.clock.now + self._txn_gen.next_interarrival()
+        self._txn_event = self.clock.schedule_at(
+            self._next_txn_at, self._fire_transaction
+        )
+
+    def _fire_transaction(self) -> None:
+        if not self._running:
+            return
+        clock = self.clock
+        while True:
+            spec = self._txn_gen.draw_spec(clock.now)
+            self.transactions_sent += 1
+            self.handles.append(self.runtime.submit(spec))
+            self._next_txn_at += self._txn_gen.next_interarrival()
+            if self._next_txn_at > clock.now or not self._running:
+                break
+        self._txn_event = self.clock.schedule_at(
+            self._next_txn_at, self._fire_transaction
+        )
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, items: Iterable[Update | TransactionSpec]) -> int:
+        """Schedule a recorded trace at its recorded arrival times.
+
+        On a wall clock, items whose arrival time is already past fire
+        immediately (late); on an engine clock the times replay exactly.
+
+        Returns:
+            The number of items scheduled.
+        """
+        count = 0
+        for item in items:
+            if isinstance(item, Update):
+                self.clock.schedule_at(item.arrival_time, self._replay_update, item)
+            elif isinstance(item, TransactionSpec):
+                self.clock.schedule_at(item.arrival_time, self._replay_txn, item)
+            else:
+                raise TypeError(f"unexpected trace item: {type(item).__name__}")
+            count += 1
+        return count
+
+    def _replay_update(self, update: Update) -> None:
+        self.updates_sent += 1
+        if not self.runtime.ingest(update):
+            self.updates_dropped += 1
+
+    def _replay_txn(self, spec: TransactionSpec) -> None:
+        self.transactions_sent += 1
+        self.handles.append(self.runtime.submit(spec))
+
+    # ------------------------------------------------------------------
+    # Outcome tallies
+    # ------------------------------------------------------------------
+    def outcome_counts(self) -> dict:
+        """Tally resolved transaction outcomes (in-flight ones excluded)."""
+        counts: dict[str, int] = {}
+        for handle in self.handles:
+            if handle.outcome is not None:
+                counts[handle.outcome] = counts.get(handle.outcome, 0) + 1
+        return counts

@@ -1,0 +1,120 @@
+"""Live observability: periodic JSONL metric snapshots.
+
+A :class:`MetricsStreamer` samples a running :class:`~repro.live.runtime.
+LiveRuntime` on a fixed period and writes one JSON line per sample.  Each
+line is the full :class:`~repro.metrics.results.SimulationResult` for the
+measurement window so far (the same fields the simulator reports, computed
+non-destructively mid-run) plus the live gauges the runtime adds in
+``extras``: OS/update queue depths, install-latency percentiles, worst
+dispatch lag, watchdog counters.
+
+Lines are self-describing, so the stream can be tailed by a human, plotted
+with ``jq``/pandas, or diffed directly against a simulator result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import IO
+
+from repro.live.runtime import LiveRuntime
+
+
+class MetricsStreamer:
+    """Periodic JSONL snapshots of a live runtime.
+
+    Args:
+        runtime: The runtime to sample.
+        out: Destination — a path (appended to), a file-like object, or
+            None to keep samples in memory only.
+        interval: Seconds between samples.
+        history: In-memory record cap (oldest dropped first); the
+            ``history`` attribute always holds the most recent records
+            regardless of ``out``.
+    """
+
+    def __init__(
+        self,
+        runtime: LiveRuntime,
+        out: "str | Path | IO[str] | None" = None,
+        *,
+        interval: float = 1.0,
+        history: int = 64,
+    ) -> None:
+        self.runtime = runtime
+        self.interval = interval
+        self.history: list[dict] = []
+        self._history_cap = history
+        self._task: asyncio.Task | None = None
+        self._stream: IO[str] | None = None
+        self._owns_stream = False
+        if isinstance(out, (str, Path)):
+            self._stream = Path(out).open("a", encoding="utf-8")
+            self._owns_stream = True
+        elif out is not None:
+            self._stream = out
+
+    # ------------------------------------------------------------------
+    def emit(self) -> dict:
+        """Take one snapshot now; write it and return the record."""
+        record = asdict(self.runtime.snapshot())
+        self.history.append(record)
+        if len(self.history) > self._history_cap:
+            del self.history[: len(self.history) - self._history_cap]
+        if self._stream is not None:
+            self._stream.write(json.dumps(record) + "\n")
+            self._stream.flush()
+        return record
+
+    def start(self) -> None:
+        """Spawn the periodic sampling task on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("metrics streamer is already running")
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self, *, final_emit: bool = True) -> None:
+        """Stop sampling; by default emit one last snapshot first."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if final_emit:
+            self.emit()
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            self.emit()
+
+    @staticmethod
+    def format_line(record: dict) -> str:
+        """Human-oriented one-line digest of a snapshot record."""
+        extras = record.get("extras", {})
+        p99 = extras.get("install_latency_p99")
+        return (
+            f"[{extras.get('wall_time', 0.0):8.2f}s] "
+            f"applied={record['updates_applied']} "
+            f"dropped={record['updates_os_dropped']} "
+            f"expired={record['updates_expired']} "
+            f"osq={extras.get('os_queue_depth', 0)} "
+            f"uq={extras.get('update_queue_depth', 0)} "
+            f"commit={record['transactions_committed']}/"
+            f"{record['transactions_arrived']} "
+            f"p99={'n/a' if p99 is None else f'{p99 * 1e3:.2f}ms'} "
+            f"alerts={extras.get('watchdog_alerts', 0)}"
+        )
+
+
+def stream_to_stdout(runtime: LiveRuntime, *, interval: float = 1.0) -> MetricsStreamer:
+    """Convenience: a streamer wired to stdout."""
+    return MetricsStreamer(runtime, sys.stdout, interval=interval)

@@ -1,0 +1,150 @@
+"""Network ingest for the live runtime: JSON lines over TCP.
+
+The wire format is exactly the trace JSONL format
+(:mod:`repro.workload.trace`), one record per line:
+
+* ``{"kind": "update", ...}`` — delivered to :meth:`LiveRuntime.ingest`.
+  Fire-and-forget, like the paper's stream: a dropped update is accounted
+  (``OSmax``) but never NACKed to the sender.
+* ``{"kind": "transaction", ...}`` — submitted to the scheduler.  When the
+  controller finishes it, the server writes back
+  ``{"kind": "outcome", "seq": ..., "outcome": "committed" | "missed" |
+  "aborted-stale" | "rejected", "read_stale": ...}``.
+* ``{"kind": "snapshot"}`` — replies with one full metrics snapshot line
+  (the same record :class:`~repro.live.observe.MetricsStreamer` emits).
+
+Malformed lines get an ``{"kind": "error", ...}`` reply and the connection
+stays up; a client that disconnects mid-flight simply stops receiving
+outcomes (the transactions it submitted still run to completion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, replace
+
+from repro.live.runtime import LiveRuntime, TransactionHandle
+from repro.workload.trace import item_from_dict
+from repro.db.objects import Update
+
+
+class IngestServer:
+    """TCP front door for a :class:`LiveRuntime`.
+
+    Args:
+        runtime: The runtime to feed.
+        host: Bind address.
+        port: Bind port; 0 picks a free one (read it from ``self.port``
+            after :meth:`start`).
+    """
+
+    def __init__(
+        self, runtime: LiveRuntime, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self.records_received = 0
+        self.errors = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._outcome_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("server is already running")
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and cancel pending outcome writers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._outcome_tasks):
+            task.cancel()
+        if self._outcome_tasks:
+            await asyncio.gather(*self._outcome_tasks, return_exceptions=True)
+        self._outcome_tasks.clear()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await self._dispatch_line(line, writer)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(self, line: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "snapshot":
+                record = {"kind": "snapshot"}
+                record.update(asdict(self.runtime.snapshot()))
+                await self._reply(writer, record)
+                return
+            item = item_from_dict(record)
+        except (ValueError, KeyError, TypeError) as exc:
+            self.errors += 1
+            await self._reply(writer, {"kind": "error", "message": str(exc)})
+            return
+        self.records_received += 1
+        # Live arrivals are stamped at delivery time: the wire record's
+        # arrival_time is in the *sender's* clock domain, and deadlines /
+        # staleness are measured against this runtime's clock.
+        now = self.runtime.clock.now
+        if isinstance(item, Update):
+            delta = now - item.arrival_time
+            if delta > 0:  # shift, preserving the update's drawn network age
+                item.arrival_time = now
+                item.generation_time += delta
+            self.runtime.ingest(item)
+        else:
+            handle = self.runtime.submit(replace(item, arrival_time=now))
+            task = asyncio.ensure_future(self._write_outcome(handle, writer))
+            self._outcome_tasks.add(task)
+            task.add_done_callback(self._outcome_tasks.discard)
+
+    async def _write_outcome(
+        self, handle: TransactionHandle, writer: asyncio.StreamWriter
+    ) -> None:
+        outcome = await handle.wait()
+        try:
+            await self._reply(
+                writer,
+                {
+                    "kind": "outcome",
+                    "seq": handle.spec.seq,
+                    "outcome": outcome,
+                    "read_stale": handle.read_stale,
+                    "finish_time": handle.finish_time,
+                },
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, record: dict) -> None:
+        writer.write(json.dumps(record).encode("utf-8") + b"\n")
+        await writer.drain()

@@ -30,7 +30,7 @@ from repro.db.database import Database
 from repro.db.objects import DataObject, ObjectClass
 from repro.db.staleness import StalenessChecker
 from repro.db.update_queue import ObjectKey, UpdateQueue
-from repro.sim.engine import Engine
+from repro.sim.clock import Clock
 
 
 class FreshnessLedger:
@@ -88,6 +88,29 @@ class FreshnessLedger:
             return 0.0
         return self.stale_seconds[klass] / (duration * count)
 
+    # -- mid-run snapshots --------------------------------------------------
+    def snapshot_stale_seconds(self, now: float) -> dict[ObjectClass, float]:
+        """Closed intervals plus the currently open tails, without mutating.
+
+        The live runtime streams staleness readouts while the run is still
+        going; subclasses extend the closed integrals with each interval
+        that would be closed if the run ended at ``now``.  Repeated calls
+        are safe (nothing is recorded) and :meth:`finalize` still produces
+        the exact end-of-run integral afterwards.
+        """
+        return dict(self.stale_seconds)
+
+    def snapshot_stale_fraction(
+        self, klass: ObjectClass, now: float, duration: float
+    ) -> float:
+        """Mid-run fold metric over the last ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        count = len(self._require_database().partition(klass))
+        if count == 0:
+            return 0.0
+        return self.snapshot_stale_seconds(now)[klass] / (duration * count)
+
     def _require_database(self) -> Database:
         if self._database is None:
             raise RuntimeError("ledger is not bound to a database")
@@ -133,6 +156,15 @@ class MaxAgeLedger(FreshnessLedger):
             if now > stale_start:
                 self.stale_seconds[obj.klass] += now - stale_start
         super().finalize(now)
+
+    def snapshot_stale_seconds(self, now: float) -> dict[ObjectClass, float]:
+        snapshot = dict(self.stale_seconds)
+        for obj in self._require_database().view_objects():
+            anchor = obj.arrival_time if self.use_arrival_time else obj.generation_time
+            stale_start = max(obj.install_time, anchor + self.max_age, self.measure_start)
+            if now > stale_start:
+                snapshot[obj.klass] += now - stale_start
+        return snapshot
 
 
 class UnappliedUpdateLedger(FreshnessLedger):
@@ -180,6 +212,12 @@ class UnappliedUpdateLedger(FreshnessLedger):
         self._stale_since.clear()
         super().finalize(now)
 
+    def snapshot_stale_seconds(self, now: float) -> dict[ObjectClass, float]:
+        snapshot = dict(self.stale_seconds)
+        for key, since in self._stale_since.items():
+            snapshot[key[0]] += now - since
+        return snapshot
+
 
 class SampledLedger(FreshnessLedger):
     """Approximate integral by periodic sampling of an arbitrary checker.
@@ -193,7 +231,7 @@ class SampledLedger(FreshnessLedger):
     def __init__(
         self,
         checker: StalenessChecker,
-        engine: Engine,
+        engine: Clock,
         interval: float = 0.1,
         end_time: float | None = None,
     ) -> None:
@@ -228,6 +266,20 @@ class SampledLedger(FreshnessLedger):
         if self.end_time is None or now + self.interval <= self.end_time:
             self.engine.schedule(self.interval, self._sample)
 
+    def snapshot_stale_seconds(self, now: float) -> dict[ObjectClass, float]:
+        snapshot = dict(self.stale_seconds)
+        span = now - self._last_sample
+        if span > 0:
+            database = self._require_database()
+            for klass in (ObjectClass.VIEW_LOW, ObjectClass.VIEW_HIGH):
+                stale = sum(
+                    1
+                    for obj in database.partition(klass)
+                    if self.checker.is_stale(obj, now)
+                )
+                snapshot[klass] += stale * span
+        return snapshot
+
     def finalize(self, now: float) -> None:
         # Count the tail interval since the last sample with current state.
         span = now - self._last_sample
@@ -246,7 +298,7 @@ class SampledLedger(FreshnessLedger):
 
 def make_ledger(
     config: SimulationConfig,
-    engine: Engine,
+    engine: Clock,
     checker: StalenessChecker,
 ) -> FreshnessLedger:
     """Build the ledger matching the configured staleness policy."""

@@ -7,11 +7,13 @@ can be evaluated against an *identical* stochastic workload (common random
 numbers).
 """
 
+from repro.sim.clock import Clock
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.events import Event
 from repro.sim.streams import RandomStream, StreamFamily
 
 __all__ = [
+    "Clock",
     "Engine",
     "Event",
     "RandomStream",

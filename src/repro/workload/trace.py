@@ -5,14 +5,26 @@ the exact arrival sequence of a run; :func:`replay_updates` feeds a captured
 (or hand-written) sequence back through the engine.  Tests use this to prove
 common-random-number equality across algorithms, and examples use it to run
 the simulator on deterministic, human-readable workloads.
+
+Traces round-trip through JSONL (:meth:`TraceRecorder.save`,
+:func:`save_trace`, :func:`load_trace`) bit-for-bit: floats are serialized
+with ``repr`` precision, so a recorded simulator workload replayed through
+the live runtime (or another simulator run) sees numerically identical
+arrivals.  One line per item::
+
+    {"kind": "update", "seq": 0, "klass": "view-low", "object_id": 3, ...}
+    {"kind": "transaction", "seq": 0, "arrival_time": 0.07, "reads": [1, 4], ...}
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
-from repro.db.objects import Update
+from repro.db.objects import ObjectClass, Update
 from repro.sim.engine import Engine
+from repro.workload.transactions import TransactionSpec
 
 T = TypeVar("T")
 
@@ -34,6 +46,10 @@ class TraceRecorder(Generic[T]):
 
     def __iter__(self):
         return iter(self.items)
+
+    def save(self, path) -> int:
+        """Write the recorded items to ``path`` as JSONL; returns the count."""
+        return save_trace(path, self.items)
 
 
 def replay_updates(
@@ -59,6 +75,130 @@ def replay_updates(
         engine.schedule_at(update.arrival_time, sink, update)
         count += 1
     return count
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence
+# ----------------------------------------------------------------------
+def update_to_dict(update: Update) -> dict:
+    """Serialize one update to a plain JSON-compatible dict."""
+    record = {
+        "kind": "update",
+        "seq": update.seq,
+        "klass": update.klass.value,
+        "object_id": update.object_id,
+        "value": update.value,
+        "generation_time": update.generation_time,
+        "arrival_time": update.arrival_time,
+    }
+    if update.partial:
+        record["partial"] = True
+        record["attribute"] = update.attribute
+    return record
+
+
+def update_from_dict(record: dict) -> Update:
+    """Rebuild an :class:`Update` from :func:`update_to_dict` output."""
+    return Update(
+        seq=record["seq"],
+        klass=ObjectClass(record["klass"]),
+        object_id=record["object_id"],
+        value=record["value"],
+        generation_time=record["generation_time"],
+        arrival_time=record["arrival_time"],
+        partial=record.get("partial", False),
+        attribute=record.get("attribute", 0),
+    )
+
+
+def spec_to_dict(spec: TransactionSpec) -> dict:
+    """Serialize one transaction spec to a plain JSON-compatible dict."""
+    return {
+        "kind": "transaction",
+        "seq": spec.seq,
+        "arrival_time": spec.arrival_time,
+        "high_value": spec.high_value,
+        "value": spec.value,
+        "compute_time": spec.compute_time,
+        "reads": list(spec.reads),
+        "slack": spec.slack,
+    }
+
+
+def spec_from_dict(record: dict) -> TransactionSpec:
+    """Rebuild a :class:`TransactionSpec` from :func:`spec_to_dict` output."""
+    return TransactionSpec(
+        seq=record["seq"],
+        arrival_time=record["arrival_time"],
+        high_value=record["high_value"],
+        value=record["value"],
+        compute_time=record["compute_time"],
+        reads=tuple(record["reads"]),
+        slack=record["slack"],
+    )
+
+
+def item_to_dict(item) -> dict:
+    """Serialize an update or transaction spec by type."""
+    if isinstance(item, Update):
+        return update_to_dict(item)
+    if isinstance(item, TransactionSpec):
+        return spec_to_dict(item)
+    raise TypeError(f"cannot serialize {type(item).__name__} into a trace")
+
+
+def item_from_dict(record: dict):
+    """Deserialize one trace line by its ``kind`` tag."""
+    kind = record.get("kind")
+    if kind == "update":
+        return update_from_dict(record)
+    if kind == "transaction":
+        return spec_from_dict(record)
+    raise ValueError(f"unknown trace record kind: {kind!r}")
+
+
+def save_trace(path, items: Iterable) -> int:
+    """Write updates and/or transaction specs to ``path`` as JSONL.
+
+    Returns:
+        The number of items written.
+    """
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for item in items:
+            handle.write(json.dumps(item_to_dict(item)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path) -> "list[Update | TransactionSpec]":
+    """Read a JSONL trace back; items come out in file order.
+
+    Each call builds fresh objects, so one file can seed several runs
+    without sharing mutable :class:`Update` state between them.
+    """
+    items = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            items.append(item_from_dict(json.loads(line)))
+    return items
+
+
+def split_trace(items: Iterable) -> "tuple[list[Update], list[TransactionSpec]]":
+    """Partition a mixed trace into (updates, transaction specs)."""
+    updates: list[Update] = []
+    specs: list[TransactionSpec] = []
+    for item in items:
+        if isinstance(item, Update):
+            updates.append(item)
+        elif isinstance(item, TransactionSpec):
+            specs.append(item)
+        else:
+            raise TypeError(f"unexpected trace item: {type(item).__name__}")
+    return updates, specs
 
 
 def synthetic_updates(

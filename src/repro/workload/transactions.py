@@ -105,6 +105,10 @@ class TransactionGenerator:
             self._arrivals.interarrival(self.params.arrival_rate), self._arrive
         )
 
+    def next_interarrival(self) -> float:
+        """Draw the next inter-arrival gap (public for loadgen pacing)."""
+        return self._arrivals.interarrival(self.params.arrival_rate)
+
     def draw_spec(self, arrival_time: float) -> TransactionSpec:
         """Draw one transaction per Table 2 (public for trace tooling)."""
         params = self.params

@@ -74,7 +74,7 @@ class UpdateStreamGenerator:
     # Aperiodic (paper baseline)
     # ------------------------------------------------------------------
     def _arrive_aperiodic(self) -> None:
-        update = self._draw_update(self.engine.now)
+        update = self.draw_update(self.engine.now)
         self.generated += 1
         self.sink(update)
         self.engine.schedule(
@@ -82,7 +82,18 @@ class UpdateStreamGenerator:
             self._arrive_aperiodic,
         )
 
-    def _draw_update(self, arrival_time: float) -> Update:
+    def next_interarrival(self) -> float:
+        """Draw the next aperiodic inter-arrival gap (public for loadgen).
+
+        The live load generator paces itself on the wall clock instead of
+        the engine, but draws gaps and update shapes from the same streams,
+        so a live run and a simulated run with the same seed see the same
+        update sequence.
+        """
+        return self._arrivals.interarrival(self.params.arrival_rate)
+
+    def draw_update(self, arrival_time: float) -> Update:
+        """Draw one update per Table 1 (public for trace/loadgen tooling)."""
         shape = self._shape
         if shape.bernoulli(self.params.p_low):
             klass = ObjectClass.VIEW_LOW
@@ -136,7 +147,7 @@ class UpdateStreamGenerator:
         )
 
     def _arrive_bursty(self) -> None:
-        update = self._draw_update(self.engine.now)
+        update = self.draw_update(self.engine.now)
         self.generated += 1
         self.sink(update)
         self._schedule_bursty_arrival()

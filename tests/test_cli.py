@@ -60,13 +60,26 @@ def test_explicit_warmup(capsys):
     assert "(4s simulated" in capsys.readouterr().out
 
 
-def test_unknown_algorithm_fails_loudly():
-    with pytest.raises(KeyError):
+def test_unknown_algorithm_fails_loudly(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         main(["--algorithm", "NOPE", "--seconds", "5", "--lambda-u", "40"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice" in err
+    assert "TF-SPLIT" in err  # the registry names are listed
+
+
+def test_algorithm_case_insensitive(capsys):
+    assert main(["--algorithm", "tf", "--seconds", "5", "--lambda-u", "40"]) == 0
+    assert "TF under ma" in capsys.readouterr().out
 
 
 def test_parser_help_lists_algorithms():
+    from repro.core.algorithms.registry import ALGORITHMS
+
     parser = build_parser()
     help_text = parser.format_help()
-    assert "UF, TF, SU, OD" in help_text
+    for name in ALGORITHMS:
+        assert name in help_text
+    assert "scheduling algorithms:" in help_text  # registry-derived epilog
     assert "--replications" in help_text

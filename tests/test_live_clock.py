@@ -1,0 +1,136 @@
+"""Tests for the wall-clock timer dispatcher (repro.live.clock)."""
+
+import asyncio
+
+from repro.live.clock import WallClock
+from repro.sim.clock import Clock
+
+
+def test_wallclock_satisfies_clock_protocol():
+    assert isinstance(WallClock(), Clock)
+
+
+def test_run_end_is_always_none():
+    # run_end None disables the controller's install-burst coalescing,
+    # which needs a known dispatch horizon the wall clock cannot have.
+    assert WallClock().run_end is None
+
+
+def test_now_starts_at_zero_and_is_monotone_under_source_jitter():
+    times = iter([10.0, 10.5, 10.3, 11.0])
+    clock = WallClock(lambda: next(times))  # origin consumes 10.0
+    assert clock.now == 0.5
+    assert clock.now == 0.5  # source dipped to 10.3; now must not go back
+    assert clock.now == 1.0
+
+
+def test_negative_delay_clamps_to_now():
+    clock = WallClock()
+    event = clock.schedule(-5.0, lambda: None)
+    assert event.time >= 0.0
+    assert clock.pending_count() == 1
+
+
+def test_cancel_and_peek():
+    clock = WallClock()
+    first = clock.schedule(0.010, lambda: None)
+    second = clock.schedule(0.020, lambda: None)
+    assert clock.peek_time() == first.time
+    clock.cancel(first)
+    assert clock.peek_time() == second.time
+    assert clock.pending_count() == 1
+    clock.cancel(second)
+    assert clock.peek_time() is None
+    assert clock.pending_count() == 0
+
+
+def test_dispatch_order_and_cancellation():
+    async def scenario():
+        clock = WallClock()
+        fired = []
+        clock.schedule(0.030, fired.append, "late")
+        clock.schedule(0.005, fired.append, "early")
+        victim = clock.schedule(0.015, fired.append, "never")
+        clock.cancel(victim)
+        task = asyncio.create_task(clock.run())
+        await asyncio.sleep(0.08)
+        clock.stop()
+        await task
+        return fired, clock
+
+    fired, clock = asyncio.run(scenario())
+    assert fired == ["early", "late"]
+    assert clock.events_dispatched == 2
+    assert clock.pending_count() == 0
+
+
+def test_schedule_at_past_time_fires_late_instead_of_raising():
+    async def scenario():
+        clock = WallClock()
+        fired = []
+        await asyncio.sleep(0.005)
+        clock.schedule_at(0.0, fired.append, "overdue")
+        task = asyncio.create_task(clock.run())
+        await asyncio.sleep(0.03)
+        clock.stop()
+        await task
+        return fired, clock.max_lag
+
+    fired, max_lag = asyncio.run(scenario())
+    assert fired == ["overdue"]
+    assert max_lag > 0.0
+
+
+def test_new_earlier_event_preempts_a_long_sleep():
+    async def scenario():
+        clock = WallClock()
+        fired = []
+        clock.schedule(30.0, fired.append, "far")
+        task = asyncio.create_task(clock.run())
+        await asyncio.sleep(0.01)  # dispatcher is now parked on the 30s timer
+        clock.schedule(0.005, fired.append, "soon")
+        await asyncio.sleep(0.05)
+        clock.stop()
+        await task
+        return fired, clock.pending_count()
+
+    fired, pending = asyncio.run(scenario())
+    assert fired == ["soon"]
+    assert pending == 1  # the far timer is still queued
+
+
+def test_callbacks_scheduled_from_callbacks_chain():
+    async def scenario():
+        clock = WallClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(0.005, lambda: fired.append("second"))
+
+        clock.schedule(0.005, first)
+        task = asyncio.create_task(clock.run())
+        await asyncio.sleep(0.05)
+        clock.stop()
+        await task
+        return fired
+
+    assert asyncio.run(scenario()) == ["first", "second"]
+
+
+def test_run_twice_concurrently_is_rejected():
+    async def scenario():
+        clock = WallClock()
+        task = asyncio.create_task(clock.run())
+        await asyncio.sleep(0.005)
+        try:
+            await clock.run()
+        except RuntimeError:
+            raised = True
+        else:
+            raised = False
+        clock.stop()
+        await task
+        return raised
+
+    assert asyncio.run(scenario())

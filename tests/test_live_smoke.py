@@ -1,0 +1,168 @@
+"""Wall-clock smoke tests: the live runtime end to end, in real time.
+
+These run the full stack — WallClock, asyncio dispatcher, load generator,
+metrics streamer, TCP ingest, graceful shutdown — for a couple of real
+seconds.  Thresholds are deliberately loose (CI machines are slow and
+noisy); the throughput acceptance numbers live in
+benchmarks/bench_live_throughput.py.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import baseline_config
+from repro.live import (
+    IngestServer,
+    LiveRuntime,
+    LoadGenerator,
+    MetricsStreamer,
+)
+from repro.workload.trace import spec_to_dict, update_to_dict
+from repro.workload.transactions import TransactionSpec
+from repro.db.objects import ObjectClass, Update
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _smoke_config(update_rate=2000.0):
+    config = baseline_config(duration=1.0, seed=7)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=update_rate, mean_age=0.01)
+    config = config.with_transactions(arrival_rate=20.0, compute_mean=0.002,
+                                      compute_stdev=0.0005)
+    return config.with_system(ips=5e8)
+
+
+def test_live_smoke_end_to_end(tmp_path):
+    """~2s of live traffic: metrics flow, accounting holds, drain is clean."""
+    metrics_path = tmp_path / "metrics.jsonl"
+
+    async def scenario():
+        runtime = LiveRuntime(_smoke_config(), "TF")
+        runtime.start()
+        generator = LoadGenerator(runtime)
+        generator.start()
+        streamer = MetricsStreamer(runtime, metrics_path, interval=0.25)
+        streamer.start()
+        await asyncio.sleep(1.5)
+        mid = runtime.snapshot()
+        generator.stop()
+        await streamer.stop()
+        result = await runtime.shutdown()
+        return runtime, generator, streamer, mid, result
+
+    runtime, generator, streamer, mid, result = asyncio.run(scenario())
+
+    # Traffic actually flowed, and the mid-run snapshot saw it.
+    assert generator.updates_sent > 500
+    assert mid.updates_applied > 0
+    assert mid.transactions_arrived > 0
+
+    # The final snapshot is non-empty and self-consistent.
+    assert result.updates_arrived > 0
+    assert result.updates_applied > 0
+    assert result.transactions_committed > 0
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+    assert result.extras["install_latency_p99"] is not None
+
+    # Clean shutdown: CPU idle, nothing half-processed, streamer wrote.
+    assert runtime.controller.idle
+    assert len(runtime.os_queue) == 0
+    assert not runtime.accepting
+    lines = metrics_path.read_text().strip().splitlines()
+    assert len(lines) >= 3
+    assert json.loads(lines[-1])["updates_arrived"] > 0
+    assert streamer.history
+
+
+def test_live_server_roundtrip():
+    """TCP ingest: updates install, transactions come back with outcomes."""
+
+    async def scenario():
+        runtime = LiveRuntime(_smoke_config(update_rate=100.0), "TF")
+        runtime.start()
+        server = IngestServer(runtime)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+
+        update = Update(seq=0, klass=ObjectClass.VIEW_LOW, object_id=1,
+                        value=42.0, generation_time=0.0, arrival_time=0.0)
+        spec = TransactionSpec(seq=0, arrival_time=0.0, high_value=False,
+                               value=1.0, compute_time=0.001, reads=(1,),
+                               slack=2.0)
+        writer.write(json.dumps(update_to_dict(update)).encode() + b"\n")
+        writer.write(json.dumps(spec_to_dict(spec)).encode() + b"\n")
+        writer.write(b'{"kind": "snapshot"}\n')
+        writer.write(b"not json\n")
+        await writer.drain()
+
+        replies = []
+        for _ in range(3):
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            replies.append(json.loads(line))
+        writer.close()
+        await server.stop()
+        result = await runtime.shutdown()
+        return replies, result, server
+
+    replies, result, server = asyncio.run(scenario())
+    kinds = {r["kind"] for r in replies}
+    assert kinds == {"snapshot", "outcome", "error"}
+    outcome = next(r for r in replies if r["kind"] == "outcome")
+    assert outcome["outcome"] == "committed"
+    assert outcome["read_stale"] is False
+    assert server.records_received == 2
+    assert server.errors == 1
+    assert result.updates_applied >= 1
+    assert result.transactions_committed == 1
+
+
+def test_serve_cli_drains_cleanly_on_sigint(tmp_path):
+    """`repro-live serve` + SIGINT → exit 0 and a final JSON snapshot."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.live", "serve",
+         "--port", "0", "--metrics", "none", "--drain-timeout", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+    )
+    try:
+        # Wait for the "serving on" banner so SIGINT lands after startup.
+        deadline = time.monotonic() + 10
+        banner = b""
+        while b"serving on" not in banner and time.monotonic() < deadline:
+            banner += proc.stderr.read1(4096)
+        assert b"serving on" in banner
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=15)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, err.decode()
+    snapshot = json.loads(out.decode().strip().splitlines()[-1])
+    assert snapshot["algorithm"] == "TF"
+    assert snapshot["duration"] > 0
+
+
+@pytest.mark.slow
+def test_bench_cli_runs():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.live", "bench",
+         "--seconds", "1", "--ramp", "0.2"],
+        capture_output=True, env=env, timeout=60, check=True,
+    ).stdout.decode()
+    assert "installs/s:" in out
+    installs = float(out.split("installs/s:")[1].split()[0])
+    assert installs > 0

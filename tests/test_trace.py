@@ -1,12 +1,22 @@
-"""Tests for workload trace record/replay."""
+"""Tests for workload trace record/replay and JSONL persistence."""
 
 import pytest
 
 from repro.config import baseline_config
-from repro.db.objects import ObjectClass
+from repro.db.objects import ObjectClass, Update
 from repro.sim.engine import Engine
 from repro.sim.streams import StreamFamily
-from repro.workload.trace import TraceRecorder, replay_updates, synthetic_updates
+from repro.workload.trace import (
+    TraceRecorder,
+    item_from_dict,
+    item_to_dict,
+    load_trace,
+    replay_updates,
+    save_trace,
+    split_trace,
+    synthetic_updates,
+)
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
 from repro.workload.updates import UpdateStreamGenerator
 
 
@@ -74,3 +84,80 @@ def test_record_then_replay_reproduces_generator_stream():
     replay_updates(replay_engine, recorder.items, replayed.append)
     replay_engine.run_until(2.0)
     assert [u.seq for u in replayed] == [u.seq for u in recorder.items]
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence
+# ----------------------------------------------------------------------
+def _mixed_trace():
+    config = baseline_config().with_updates(arrival_rate=50.0, mean_age=0.3)
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    items = [update_gen.draw_update(0.1 * i) for i in range(20)]
+    items += [txn_gen.draw_spec(0.25 * i) for i in range(8)]
+    return items
+
+
+def test_jsonl_roundtrip_is_exact(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    items = _mixed_trace()
+    assert save_trace(path, items) == len(items)
+    loaded = load_trace(path)
+    # Floats serialize at repr precision, so the round-trip is bit-exact.
+    # (Update has no __eq__; compare field-by-field via the dict form.)
+    assert [item_to_dict(i) for i in loaded] == [item_to_dict(i) for i in items]
+
+
+def test_load_trace_builds_fresh_objects(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_trace(path, _mixed_trace())
+    first, second = load_trace(path), load_trace(path)
+    first_updates, _ = split_trace(first)
+    second_updates, _ = split_trace(second)
+    first_updates[0].queued = True  # mutate one copy
+    assert second_updates[0].queued is False  # the other is unaffected
+
+
+def test_recorder_save_writes_jsonl(tmp_path):
+    path = tmp_path / "recorded.jsonl"
+    recorder = TraceRecorder()
+    for item in _mixed_trace():
+        recorder(item)
+    assert recorder.save(path) == len(recorder)
+    assert ([item_to_dict(i) for i in load_trace(path)]
+            == [item_to_dict(i) for i in recorder.items])
+
+
+def test_partial_update_roundtrip(tmp_path):
+    update = Update(seq=0, klass=ObjectClass.VIEW_HIGH, object_id=5,
+                    value=1.25, generation_time=0.5, arrival_time=1.0,
+                    partial=True, attribute=3)
+    path = tmp_path / "partial.jsonl"
+    save_trace(path, [update])
+    (loaded,) = load_trace(path)
+    assert loaded.partial is True
+    assert loaded.attribute == 3
+    assert item_to_dict(loaded) == item_to_dict(update)
+
+
+def test_split_trace_partitions_by_type():
+    items = _mixed_trace()
+    updates, specs = split_trace(items)
+    assert len(updates) == 20
+    assert len(specs) == 8
+    assert all(isinstance(u, Update) for u in updates)
+    assert all(isinstance(s, TransactionSpec) for s in specs)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        item_from_dict({"kind": "mystery"})
+
+
+def test_blank_lines_ignored(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    items = _mixed_trace()[:3]
+    save_trace(path, items)
+    path.write_text(path.read_text().replace("\n", "\n\n"))
+    assert [item_to_dict(i) for i in load_trace(path)] == [item_to_dict(i) for i in items]
