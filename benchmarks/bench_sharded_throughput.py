@@ -1,0 +1,69 @@
+"""Sharded live throughput: aggregate installs/s at 1, 2, and 4 shards.
+
+Drives :func:`repro.live.cluster.run_sharded_bench` at each shard count:
+every shard is a worker process hosting its own pipeline, loaded at its
+keyspace share of an offered rate chosen well above single-core capacity,
+so the single-shard baseline saturates and added shards translate into
+added aggregate install throughput.
+
+On hosts with fewer cores than shards the harness runs the workers
+back-to-back, each with the whole machine — the one-core-per-shard
+deployment model (see docs/SCALING.md) — and records which mode ran in
+``extra_info`` alongside the per-count rates, appended to
+``BENCH_perf.json`` via the conftest hook.
+
+The acceptance bar: 4 shards sustain >= 1.5x the installs/s of 1 shard.
+
+Run with ``pytest benchmarks/bench_sharded_throughput.py --benchmark-only``.
+"""
+
+from repro.config import baseline_config
+from repro.live import run_sharded_bench
+
+#: Offered aggregate load, far past what one core installs (~20k/s on CI
+#: hardware), so every added shard has headroom to convert into installs.
+OFFERED_RATE = 60_000.0
+
+SHARD_COUNTS = (1, 2, 4)
+
+MEASURE_SECONDS = 2.0
+RAMP_SECONDS = 0.3
+
+
+def _config():
+    config = baseline_config(duration=1.0, seed=2025)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=OFFERED_RATE, mean_age=0.0)
+    config = config.with_transactions(arrival_rate=1.0)
+    return config.with_system(ips=1e9)
+
+
+def test_sharded_install_throughput(benchmark):
+    outcomes = {}
+
+    def run():
+        for shards in SHARD_COUNTS:
+            outcomes[shards] = run_sharded_bench(
+                _config(), "TF", shards,
+                seconds=MEASURE_SECONDS, ramp=RAMP_SECONDS,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rates = {}
+    for shards, outcome in outcomes.items():
+        rates[shards] = outcome.installs_per_second
+        benchmark.extra_info[f"installs_per_second_shards_{shards}"] = (
+            outcome.installs_per_second
+        )
+        benchmark.extra_info[f"mode_shards_{shards}"] = outcome.mode
+        assert outcome.merged.update_conservation_gap() == 0
+        assert outcome.merged.transaction_conservation_gap() == 0
+        print(f"\n{shards} shard(s) [{outcome.mode}]: "
+              f"{outcome.installs_per_second:,.0f} installs/s aggregate")
+
+    benchmark.extra_info["scaling_1_to_4"] = rates[4] / rates[1]
+    assert rates[4] >= 1.5 * rates[1], (
+        f"4 shards sustained {rates[4]:,.0f} installs/s vs "
+        f"{rates[1]:,.0f} at 1 shard — less than 1.5x"
+    )

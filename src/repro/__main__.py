@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hash-index the update queue (newest per object)")
     parser.add_argument("--fraction", type=float, default=0.2,
                         help="reserved update share for FX (default 0.2)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="hash-partition the keyspace over this many "
+                        "pipelines on one virtual clock (default 1, the "
+                        "classic single pipeline)")
     parser.add_argument("--replications", type=int, default=1,
                         help="independent replications; > 1 prints mean ± CI")
     parser.add_argument("--workers", type=int, default=None,
@@ -107,6 +111,10 @@ def main(argv: list[str] | None = None) -> int:
     kwargs = {"fraction": args.fraction} if args.algorithm.upper() == "FX" else {}
 
     if args.replications > 1:
+        if args.shards > 1:
+            print("--shards is a single-run option; drop --replications",
+                  file=sys.stderr)
+            return 2
         from repro.experiments.replication import run_replicated
         from repro.experiments.sweeps import default_workers
 
@@ -126,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
         ))
         return 0
 
-    result = run_simulation(config, args.algorithm, **kwargs)
+    result = run_simulation(config, args.algorithm, shards=args.shards, **kwargs)
     print(format_result(result))
     violations = check_invariants(result)
     if violations:

@@ -1,0 +1,285 @@
+"""Shard construction: N independent pipelines over one keyspace.
+
+The unit of execution here is a **shard**: its own
+:class:`~repro.db.database.Database` slice, OS queue, update queue,
+staleness checker/ledger, collectors, and
+:class:`~repro.core.controller.Controller`, all wired by the same
+:func:`repro.core.wiring.build_parts` the single pipeline uses — a shard
+*is* a ``RuntimeParts``.  :func:`build_shard_set` generalizes that wiring
+to N shards behind a :class:`~repro.db.sharding.ShardRouter`:
+
+* ``shards=1`` builds exactly one ``build_parts(config, ...)`` with the
+  original config and routes by handing out the controller's own bound
+  arrival methods — the single-shard path is the degenerate case of the
+  same code, not a fork, and stays bit-identical to the pre-shard wiring.
+* ``shards=N`` derives one sub-config per shard (owned object counts,
+  per-shard ``OSmax``/``UQmax`` budgets via :func:`shard_config`), builds
+  N part sets on the *same* clock, and routes arrivals by stable hash of
+  the target object id.
+
+Cross-shard reads: a transaction's read set is drawn against the global
+keyspace, but a transaction executes on exactly one shard (the owner of
+its first read).  Reads owned by that shard keep their identity; reads
+owned elsewhere are approximated by a deterministic stand-in object on
+the executing shard and counted in ``router.remapped_reads`` — see
+``docs/SCALING.md`` for what this preserves and what it blurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+from repro.config import SimulationConfig
+from repro.core.wiring import (
+    RuntimeParts,
+    build_parts,
+    collect_result,
+    reset_measurement,
+)
+from repro.db.objects import Update
+from repro.db.sharding import ShardRouter
+from repro.metrics.freshness import SampledLedger
+from repro.metrics.results import SimulationResult
+from repro.sim.clock import Clock
+from repro.workload.transactions import TransactionSpec
+
+
+@dataclass
+class Shard:
+    """One pipeline plus its slice of the keyspace."""
+
+    index: int
+    parts: RuntimeParts
+    n_low: int
+    n_high: int
+
+
+def shard_config(
+    config: SimulationConfig, router: ShardRouter, index: int
+) -> SimulationConfig:
+    """The sub-config one shard's pipeline is built from.
+
+    Owned object counts replace the global ones; the global OS/update
+    queue budgets are split across shards; ``p_low`` is clamped when a
+    shard owns only one importance class (the routing happens upstream
+    against the global config, so the clamp only keeps validation
+    honest).  Everything else — cost model, staleness policy, stale-read
+    action, seed — is inherited unchanged.
+    """
+    k_low, k_high = router.counts(index)
+    p_low = config.updates.p_low
+    if k_low == 0:
+        p_low = 0.0
+    elif k_high == 0:
+        p_low = 1.0
+    shard_cfg = config.with_updates(n_low=k_low, n_high=k_high, p_low=p_low)
+    return shard_cfg.with_system(
+        os_queue_max=router.os_budget(index, config.system.os_queue_max),
+        update_queue_max=router.uq_budget(index, config.system.update_queue_max),
+    )
+
+
+def route_update(router: ShardRouter, update: Update) -> tuple[int, Update]:
+    """Resolve an update's owning shard and its shard-local record.
+
+    A fresh record is returned: the original keeps its global id (the
+    caller may hold it), and queue state (``queued``) must be shard-local.
+    """
+    shard = router.shard_of(update.klass, update.object_id)
+    router.note_update_routed(shard)
+    routed = Update(
+        seq=update.seq,
+        klass=update.klass,
+        object_id=router.local_id(update.klass, update.object_id),
+        value=update.value,
+        generation_time=update.generation_time,
+        arrival_time=update.arrival_time,
+        partial=update.partial,
+        attribute=update.attribute,
+    )
+    return shard, routed
+
+
+def route_spec(
+    router: ShardRouter, spec: TransactionSpec
+) -> tuple[int, TransactionSpec]:
+    """Resolve a transaction's executing shard and its remapped spec.
+
+    The owner of the first read executes the transaction; reads owned by
+    that shard keep their identity (shard-local id), cross-shard reads
+    are approximated by a deterministic stand-in object there (counted in
+    ``router.remapped_reads``).  A readless transaction is placed by a
+    stable hash of its sequence number.
+    """
+    klass = spec.view_class
+    if not spec.reads:
+        shard = router.hash_shard(spec.seq)
+        router.note_transaction_routed(shard)
+        return shard, spec
+    shard = router.shard_of(klass, spec.reads[0])
+    owned = router.count_for(shard, klass)
+    local_reads = []
+    for gid in spec.reads:
+        if router.shard_of(klass, gid) == shard:
+            local_reads.append(router.local_id(klass, gid))
+        else:
+            # owned > 0 because this shard owns reads[0] of the same class.
+            router.note_remapped_read()
+            local_reads.append(gid % owned)
+    router.note_transaction_routed(shard)
+    return shard, dataclass_replace(spec, reads=tuple(local_reads))
+
+
+class ShardSet:
+    """N wired pipelines plus the routing that feeds them.
+
+    Built by :func:`build_shard_set`; don't construct directly.
+
+    Attributes:
+        config: The global (pre-split) configuration.
+        router: The keyspace router, or None for the single-shard case.
+        shards: The wired :class:`Shard` pipelines, by index.
+        route_update / route_spec: Arrival sinks accepting *global* object
+            ids — plug them wherever a single controller's
+            ``on_update_arrival`` / ``on_transaction_arrival`` went.  With
+            one shard they *are* those bound methods.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        router: ShardRouter | None,
+        shards: list[Shard],
+    ) -> None:
+        self.config = config
+        self.router = router
+        self.shards = shards
+        if router is None:
+            controller = shards[0].parts.controller
+            self.route_update = controller.on_update_arrival
+            self.route_spec = controller.on_transaction_arrival
+        else:
+            self.route_update = self._route_update
+            self.route_spec = self._route_spec
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    # ------------------------------------------------------------------
+    # Routing (multi-shard only; single-shard uses the bound methods)
+    # ------------------------------------------------------------------
+    def _route_update(self, update: Update) -> None:
+        shard, routed = route_update(self.router, update)
+        self.shards[shard].parts.controller.on_update_arrival(routed)
+
+    def _route_spec(self, spec: TransactionSpec) -> None:
+        shard, routed = route_spec(self.router, spec)
+        self.shards[shard].parts.controller.on_transaction_arrival(routed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle fan-out
+    # ------------------------------------------------------------------
+    def start_ledgers(self) -> None:
+        """Start every sampled ledger (no-op for exact ledgers)."""
+        for shard in self.shards:
+            if isinstance(shard.parts.ledger, SampledLedger):
+                shard.parts.ledger.start()
+
+    def reset_measurement(self, now: float) -> None:
+        """Warmup boundary on every shard."""
+        for shard in self.shards:
+            reset_measurement(shard.parts, now)
+
+    def finalize(self, now: float) -> None:
+        """End-of-run finalize on every shard's controller and ledger."""
+        for shard in self.shards:
+            shard.parts.controller.finalize(now)
+            shard.parts.ledger.finalize(now)
+
+    def collect(
+        self,
+        duration: float,
+        *,
+        now: float | None = None,
+        final: bool = True,
+        extras: dict | None = None,
+    ) -> SimulationResult:
+        """Collect per-shard results and merge them into one report.
+
+        With one shard this is exactly :func:`collect_result` — bit-
+        identical to the unsharded path.  With N, the merge weights the
+        staleness folds by owned object counts and stamps the router's
+        accounting into ``extras``.
+        """
+        if self.router is None:
+            return collect_result(
+                self.shards[0].parts,
+                duration,
+                now=now,
+                final=final,
+                extras=extras,
+            )
+        per_shard = [
+            collect_result(shard.parts, duration, now=now, final=final)
+            for shard in self.shards
+        ]
+        merged_extras = dict(self.router.accounting())
+        if extras:
+            merged_extras.update(extras)
+        return SimulationResult.merge(
+            per_shard,
+            weights_low=[shard.n_low for shard in self.shards],
+            weights_high=[shard.n_high for shard in self.shards],
+            extras=merged_extras,
+        )
+
+
+def build_shard_set(
+    config: SimulationConfig,
+    algorithm,
+    clock: Clock,
+    shards: int = 1,
+    **algorithm_kwargs,
+) -> ShardSet:
+    """Wire ``shards`` pipelines over one keyspace and one clock.
+
+    Args:
+        config: The global configuration (global object counts and queue
+            budgets; they are split across shards).
+        algorithm: Scheduler name, or an instance (single-shard only — N
+            pipelines need N independent scheduler states, so multi-shard
+            builds require a registry name).
+        clock: Shared clock for every shard (an
+            :class:`~repro.sim.engine.Engine` for deterministic sharded
+            simulation, a wall clock in a live worker).
+        shards: Shard count; 1 reproduces the unsharded wiring exactly.
+        **algorithm_kwargs: Constructor args for a named algorithm.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if shards == 1:
+        parts = build_parts(config, algorithm, clock, **algorithm_kwargs)
+        shard = Shard(
+            index=0,
+            parts=parts,
+            n_low=config.updates.n_low,
+            n_high=config.updates.n_high,
+        )
+        return ShardSet(config, None, [shard])
+    if not isinstance(algorithm, str):
+        raise ValueError(
+            "multi-shard builds need an algorithm name (each shard gets "
+            "its own instance), not a shared instance"
+        )
+    config.validate()
+    router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
+    built = []
+    for index in range(shards):
+        sub_config = shard_config(config, router, index)
+        parts = build_parts(sub_config, algorithm, clock, **algorithm_kwargs)
+        k_low, k_high = router.counts(index)
+        built.append(Shard(index=index, parts=parts, n_low=k_low, n_high=k_high))
+    return ShardSet(config, router, built)

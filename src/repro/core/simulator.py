@@ -8,17 +8,20 @@
     print(result.summary())
 
 The model itself (controller, queues, ledgers, collectors) is built by
-:mod:`repro.core.wiring`, which this facade shares with the wall-clock
-runtime in :mod:`repro.live` — a Simulation is "the wired model plus a
+:mod:`repro.core.sharding` — one pipeline per shard on a single virtual
+clock, with ``shards=1`` (the default) reproducing the classic single
+pipeline bit-for-bit.  The wiring is shared with the wall-clock runtime
+in :mod:`repro.live`: a Simulation is "the wired shard set plus a
 virtual clock plus the Poisson workload generators".
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.config import SimulationConfig
 from repro.core.algorithms.base import SchedulingAlgorithm
-from repro.core.wiring import build_parts, collect_result, reset_measurement
-from repro.metrics.freshness import SampledLedger
+from repro.core.sharding import build_shard_set
 from repro.metrics.results import SimulationResult
 from repro.sim.engine import Engine
 from repro.sim.streams import StreamFamily
@@ -29,20 +32,31 @@ from repro.workload.updates import UpdateStreamGenerator
 class Simulation:
     """A fully wired simulation run.
 
-    Building the object constructs the whole model (engine, database,
-    queues, staleness machinery, controller, workload generators); calling
-    :meth:`run` executes it and returns the metrics.  A Simulation is
-    single-use: running twice raises.
+    Building the object constructs the whole model (engine, databases,
+    queues, staleness machinery, controllers, workload generators);
+    calling :meth:`run` executes it and returns the metrics.  A
+    Simulation is single-use: running twice raises.
+
+    With ``shards > 1`` the keyspace is hash-partitioned over N
+    independent pipelines that share the virtual clock (the model of one
+    core per shard); the workload generators draw against the *global*
+    config — the same arrival sequence as the unsharded run — and the
+    shard router delivers each arrival to its owner.  The convenience
+    attributes (``controller``, ``database``, ...) refer to shard 0.
     """
 
     def __init__(
         self,
         config: SimulationConfig,
         algorithm: str | SchedulingAlgorithm = "TF",
+        shards: int = 1,
         **algorithm_kwargs,
     ) -> None:
         self.engine = Engine()
-        parts = build_parts(config, algorithm, self.engine, **algorithm_kwargs)
+        self.shard_set = build_shard_set(
+            config, algorithm, self.engine, shards=shards, **algorithm_kwargs
+        )
+        parts = self.shard_set.shards[0].parts
         self._parts = parts
         self.config = config
         self.algorithm = parts.algorithm
@@ -58,10 +72,10 @@ class Simulation:
 
         self.streams = StreamFamily(config.seed)
         self.update_generator = UpdateStreamGenerator(
-            config, self.engine, self.streams, self.controller.on_update_arrival
+            config, self.engine, self.streams, self.shard_set.route_update
         )
         self.transaction_generator = TransactionGenerator(
-            config, self.engine, self.streams, self.controller.on_transaction_arrival
+            config, self.engine, self.streams, self.shard_set.route_spec
         )
         self._ran = False
 
@@ -72,14 +86,12 @@ class Simulation:
         self._ran = True
         self.update_generator.start()
         self.transaction_generator.start()
-        if isinstance(self.ledger, SampledLedger):
-            self.ledger.start()
+        self.shard_set.start_ledgers()
         if self.config.warmup > 0:
             self.engine.schedule_at(self.config.warmup, self._warmup_reset)
         duration = self.config.duration
         self.engine.run_until(duration)
-        self.controller.finalize(duration)
-        self.ledger.finalize(duration)
+        self.shard_set.finalize(duration)
         return self._collect(duration - self.config.warmup)
 
     def run_scripted(self, updates=(), transactions=()) -> SimulationResult:
@@ -95,34 +107,41 @@ class Simulation:
         self._ran = True
         for update in updates:
             self.engine.schedule_at(
-                update.arrival_time, self.controller.on_update_arrival, update
+                update.arrival_time, self.shard_set.route_update, update
             )
         for spec in transactions:
             self.engine.schedule_at(
-                spec.arrival_time, self.controller.on_transaction_arrival, spec
+                spec.arrival_time, self.shard_set.route_spec, spec
             )
-        if isinstance(self.ledger, SampledLedger):
-            self.ledger.start()
+        self.shard_set.start_ledgers()
         if self.config.warmup > 0:
             self.engine.schedule_at(self.config.warmup, self._warmup_reset)
         duration = self.config.duration
         self.engine.run_until(duration)
-        self.controller.finalize(duration)
-        self.ledger.finalize(duration)
+        self.shard_set.finalize(duration)
         return self._collect(duration - self.config.warmup)
 
     def _warmup_reset(self) -> None:
         """Discard everything measured during warmup (content stays live)."""
-        reset_measurement(self._parts, self.engine.now)
+        self.shard_set.reset_measurement(self.engine.now)
 
     def _collect(self, duration: float) -> SimulationResult:
-        return collect_result(self._parts, duration)
+        result = self.shard_set.collect(duration)
+        if len(self.shard_set) > 1:
+            # Every shard shares this engine, so the merge's summed
+            # dispatch count overstates by a factor of N; report the
+            # engine's true total.
+            result = replace(
+                result, events_dispatched=self.engine.events_dispatched
+            )
+        return result
 
 
 def run_simulation(
     config: SimulationConfig,
     algorithm: str | SchedulingAlgorithm = "TF",
+    shards: int = 1,
     **algorithm_kwargs,
 ) -> SimulationResult:
     """Build and run one simulation; see :class:`Simulation`."""
-    return Simulation(config, algorithm, **algorithm_kwargs).run()
+    return Simulation(config, algorithm, shards=shards, **algorithm_kwargs).run()

@@ -10,6 +10,7 @@ from repro.db.database import Database
 from repro.db.history import HistoryStore, Version
 from repro.db.objects import DataObject, ObjectClass, Update
 from repro.db.os_queue import OSQueue
+from repro.db.sharding import ROUTER_VERSION, ShardRouter, stable_hash
 from repro.db.staleness import (
     CombinedStaleness,
     MaxAgeArrivalStaleness,
@@ -33,6 +34,8 @@ __all__ = [
     "ObjectClass",
     "OSQueue",
     "PartitionedUpdateQueue",
+    "ROUTER_VERSION",
+    "ShardRouter",
     "Row",
     "SchemaError",
     "StalenessChecker",
@@ -45,4 +48,5 @@ __all__ = [
     "identity",
     "make_staleness_checker",
     "scale",
+    "stable_hash",
 ]

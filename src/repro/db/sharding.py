@@ -1,0 +1,193 @@
+"""Keyspace partitioning for sharded pipelines.
+
+A shard owns a hash-partitioned slice of the view keyspace.  The
+:class:`ShardRouter` maps every global view object id onto its owning
+shard with a *stable* integer hash (splitmix64) — deliberately not
+Python's built-in ``hash``, which is randomized per process for strings
+and would make routing disagree between the processes of a multi-core
+deployment.  The router also precomputes dense shard-local object ids, so
+each shard's :class:`~repro.db.database.Database` can be built with plain
+``n_low``/``n_high`` counts, and splits the global ``OSmax``/``UQmax``
+buffer budgets across shards.
+
+Routing accounting (how many updates/transactions each shard received,
+how many cross-shard reads had to be remapped, how many records were
+unroutable) lives here too, so a merged report can attribute load and
+drops per shard.
+"""
+
+from __future__ import annotations
+
+from repro.db.objects import ObjectClass
+
+#: Version of the routing function.  Participates in cache fingerprints:
+#: changing the hash or the budget split must invalidate every cached
+#: sharded result.
+ROUTER_VERSION = 1
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(value: int) -> int:
+    """splitmix64 finalizer: a stable, well-mixed 64-bit hash of an int.
+
+    Process- and platform-independent (unlike ``hash(str)`` under hash
+    randomization), so every worker of a sharded deployment routes the
+    same object to the same shard.
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _class_bit(klass: ObjectClass) -> int:
+    if klass is ObjectClass.VIEW_LOW:
+        return 0
+    if klass is ObjectClass.VIEW_HIGH:
+        return 1
+    raise ValueError(f"only view objects are sharded, got {klass}")
+
+
+class ShardRouter:
+    """Stable hash partitioning of the view keyspace over N shards.
+
+    Args:
+        n_low: Global number of low-importance view objects.
+        n_high: Global number of high-importance view objects.
+        shards: Number of shards (>= 1).
+
+    Raises:
+        ValueError: for a degenerate topology — fewer objects than shards
+            or a shard that ends up owning zero view objects (its pipeline
+            would have nothing to do and its ``Database`` cannot be built).
+
+    Attributes:
+        updates_routed: Per-shard count of updates routed through
+            :meth:`note_update_routed`.
+        transactions_routed: Per-shard count of routed transactions.
+        remapped_reads: Cross-shard view reads approximated onto an
+            owner-local object (see ``docs/SCALING.md``).
+        routing_errors: Records that could not be routed (unknown object).
+    """
+
+    def __init__(self, n_low: int, n_high: int, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if n_low < 0 or n_high < 0:
+            raise ValueError("object counts must be >= 0")
+        if n_low + n_high < shards:
+            raise ValueError(
+                f"cannot spread {n_low + n_high} view objects over "
+                f"{shards} shards"
+            )
+        self.n_low = n_low
+        self.n_high = n_high
+        self.shards = shards
+
+        # Dense global-id -> (shard, local-id) maps, one per view class.
+        self._shard_low = [self._hash_shard_of(0, gid) for gid in range(n_low)]
+        self._shard_high = [self._hash_shard_of(1, gid) for gid in range(n_high)]
+        self._local_low = [0] * n_low
+        self._local_high = [0] * n_high
+        self._counts_low = [0] * shards
+        self._counts_high = [0] * shards
+        for gid, shard in enumerate(self._shard_low):
+            self._local_low[gid] = self._counts_low[shard]
+            self._counts_low[shard] += 1
+        for gid, shard in enumerate(self._shard_high):
+            self._local_high[gid] = self._counts_high[shard]
+            self._counts_high[shard] += 1
+        empty = [
+            shard for shard in range(shards)
+            if self._counts_low[shard] + self._counts_high[shard] == 0
+        ]
+        if empty:
+            raise ValueError(
+                f"shards {empty} own no view objects with n_low={n_low}, "
+                f"n_high={n_high}; use fewer shards"
+            )
+
+        self.updates_routed = [0] * shards
+        self.transactions_routed = [0] * shards
+        self.remapped_reads = 0
+        self.routing_errors = 0
+
+    def _hash_shard_of(self, class_bit: int, gid: int) -> int:
+        return stable_hash((gid << 1) | class_bit) % self.shards
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    def shard_of(self, klass: ObjectClass, object_id: int) -> int:
+        """Owning shard of a global view object id."""
+        table = self._shard_low if _class_bit(klass) == 0 else self._shard_high
+        return table[object_id]
+
+    def local_id(self, klass: ObjectClass, object_id: int) -> int:
+        """Dense shard-local id of a global view object id."""
+        table = self._local_low if _class_bit(klass) == 0 else self._local_high
+        return table[object_id]
+
+    def counts(self, shard: int) -> tuple[int, int]:
+        """(owned low objects, owned high objects) of one shard."""
+        return self._counts_low[shard], self._counts_high[shard]
+
+    def count_for(self, shard: int, klass: ObjectClass) -> int:
+        """Owned objects of one view class on one shard."""
+        low, high = self.counts(shard)
+        return low if _class_bit(klass) == 0 else high
+
+    def hash_shard(self, value: int) -> int:
+        """A stable shard choice for values that are not object ids
+        (e.g. the sequence number of a transaction with no reads)."""
+        return stable_hash(value) % self.shards
+
+    # ------------------------------------------------------------------
+    # Buffer budgets
+    # ------------------------------------------------------------------
+    def os_budget(self, shard: int, os_queue_max: int) -> int:
+        """This shard's slice of the global ``OSmax`` kernel buffer."""
+        return max(1, self._split(shard, os_queue_max))
+
+    def uq_budget(self, shard: int, update_queue_max: int) -> int:
+        """This shard's slice of the global ``UQmax`` update-queue bound.
+
+        Clamped to 2 so a partitioned (TF-SPLIT) queue can always be
+        built on every shard.
+        """
+        return max(2, self._split(shard, update_queue_max))
+
+    def _split(self, shard: int, total: int) -> int:
+        base, remainder = divmod(total, self.shards)
+        return base + (1 if shard < remainder else 0)
+
+    # ------------------------------------------------------------------
+    # Routing accounting
+    # ------------------------------------------------------------------
+    def note_update_routed(self, shard: int) -> None:
+        self.updates_routed[shard] += 1
+
+    def note_transaction_routed(self, shard: int) -> None:
+        self.transactions_routed[shard] += 1
+
+    def note_remapped_read(self, count: int = 1) -> None:
+        self.remapped_reads += count
+
+    def note_routing_error(self) -> None:
+        self.routing_errors += 1
+
+    def accounting(self) -> dict:
+        """Routing counters in report/extras form."""
+        return {
+            "shards": self.shards,
+            "router_version": ROUTER_VERSION,
+            "updates_routed": list(self.updates_routed),
+            "transactions_routed": list(self.transactions_routed),
+            "remapped_reads": self.remapped_reads,
+            "routing_errors": self.routing_errors,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owned = [self.counts(shard) for shard in range(self.shards)]
+        return f"<ShardRouter shards={self.shards} owned={owned}>"

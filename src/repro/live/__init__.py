@@ -21,12 +21,15 @@ Layout:
   recorded simulator trace.
 * :class:`MetricsStreamer` — periodic JSONL snapshots of a running system.
 * :class:`IngestServer` — optional TCP ingest (JSON lines over a socket).
+* :class:`ShardCluster` — N shard worker processes (one pipeline each)
+  behind one ingest router; merged fleet snapshots and final results.
 
 Run it: ``python -m repro.live serve|loadgen|bench`` (also installed as the
 ``repro-live`` console script).
 """
 
 from repro.live.clock import WallClock
+from repro.live.cluster import ShardCluster, ShardedBenchResult, run_sharded_bench
 from repro.live.loadgen import LoadGenerator
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime, TransactionHandle
@@ -37,6 +40,9 @@ __all__ = [
     "LiveRuntime",
     "LoadGenerator",
     "MetricsStreamer",
+    "ShardCluster",
+    "ShardedBenchResult",
     "TransactionHandle",
     "WallClock",
+    "run_sharded_bench",
 ]

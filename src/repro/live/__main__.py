@@ -28,6 +28,7 @@ from dataclasses import asdict
 from repro.config import SimulationConfig, StalenessPolicy, baseline_config
 from repro.core.algorithms.registry import ALGORITHMS
 from repro.live.clock import WallClock
+from repro.live.cluster import ShardCluster, run_sharded_bench
 from repro.live.loadgen import LoadGenerator
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
@@ -95,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7995)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the keyspace over this many worker "
+                       "processes behind one ingest socket (default 1)")
     serve.add_argument("--seconds", type=float, default=None,
                        help="exit after this long (default: until SIGINT)")
     serve.add_argument("--metrics", default="-",
@@ -118,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seconds", type=float, default=2.0)
     bench.add_argument("--ramp", type=float, default=0.25,
                        help="warmup seconds excluded from the measurement")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="measure aggregate throughput at this shard "
+                       "count (worker processes; default 1)")
     # Throughput defaults: a fast CPU (24 µs/install against the paper's
     # cost model) pushed well past 10k updates/s, a light foreground
     # transaction load, and in-order generations (mean age 0) so every
@@ -141,6 +148,8 @@ def _install_stop_handlers(stop: asyncio.Event) -> None:
 # serve
 # ----------------------------------------------------------------------
 async def _serve(args) -> int:
+    if args.shards > 1:
+        return await _serve_sharded(args)
     stop = asyncio.Event()
     _install_stop_handlers(stop)  # before the banner: see it, can signal it
     config = _build_config(args)
@@ -171,6 +180,44 @@ async def _serve(args) -> int:
     if not drained:
         print("repro-live: drain timed out with work still queued",
               file=sys.stderr)
+    return 0
+
+
+async def _serve_sharded(args) -> int:
+    """``serve --shards N``: worker processes behind one ingest router.
+
+    Same contract as the single-process path — one public socket, JSONL
+    metric snapshots (here the *merged* fleet view), SIGINT drains and
+    prints the final merged result as one JSON line.
+    """
+    stop = asyncio.Event()
+    _install_stop_handlers(stop)
+    config = _build_config(args)
+    cluster = ShardCluster(
+        config, args.algorithm, shards=args.shards,
+        host=args.host, port=args.port,
+    )
+    host, port = await cluster.start()
+    print(f"repro-live: {args.algorithm} serving on {host}:{port} across "
+          f"{args.shards} shard workers (ports {cluster.ports}; "
+          f"SIGINT drains and exits)", file=sys.stderr, flush=True)
+
+    streamer = None
+    if args.metrics != "none":
+        out = sys.stdout if args.metrics == "-" else args.metrics
+        streamer = MetricsStreamer(cluster, out, interval=args.metrics_interval)
+        streamer.start()
+
+    if args.seconds is not None:
+        asyncio.get_running_loop().call_later(args.seconds, stop.set)
+    await stop.wait()
+
+    print("repro-live: draining ...", file=sys.stderr, flush=True)
+    await cluster.stop_ingest()
+    if streamer is not None:
+        await streamer.stop(final_emit=False)
+    result = await cluster.shutdown(args.drain_timeout)
+    print(json.dumps(asdict(result)), flush=True)
     return 0
 
 
@@ -254,6 +301,8 @@ async def _loadgen(args) -> int:
 # bench
 # ----------------------------------------------------------------------
 async def _bench(args) -> int:
+    if args.shards > 1:
+        return _bench_sharded(args)
     config = _build_config(args)
     runtime = LiveRuntime(config, args.algorithm)
     runtime.start()
@@ -281,6 +330,29 @@ async def _bench(args) -> int:
     print(f"install latency:  p50={_ms(p50)} p99={_ms(p99)} "
           f"worst={_ms(extras.get('install_latency_worst'))}")
     print(f"dispatch lag:     worst={_ms(extras.get('dispatch_lag_worst'))}")
+    return 0
+
+
+def _bench_sharded(args) -> int:
+    """``bench --shards N``: aggregate throughput over worker processes."""
+    config = _build_config(args)
+    outcome = run_sharded_bench(
+        config, args.algorithm, args.shards,
+        seconds=args.seconds, ramp=args.ramp,
+    )
+    merged = outcome.merged
+    print(f"algorithm:        {args.algorithm}")
+    print(f"shards:           {outcome.shards} ({outcome.mode})")
+    print(f"offered rate:     {config.updates.arrival_rate:.0f} updates/s "
+          f"(split by keyspace share)")
+    per_shard = ", ".join(
+        f"{r.updates_applied / r.duration:.0f}"
+        for r in outcome.per_shard if r.duration > 0
+    )
+    print(f"installs/s:       {outcome.installs_per_second:.0f} "
+          f"aggregate ({per_shard} per shard)")
+    print(f"os drops:         {merged.updates_os_dropped}")
+    print(f"expired (MA):     {merged.updates_expired}")
     return 0
 
 

@@ -1,0 +1,504 @@
+"""Multi-core live mode: one shard per worker process.
+
+``repro-live serve --shards N`` runs N worker processes, each hosting a
+full single-shard pipeline (:class:`~repro.live.runtime.LiveRuntime` +
+:class:`~repro.live.server.IngestServer` on a loopback port), behind one
+public TCP router in the parent process.  The router speaks the same
+JSONL wire protocol as a single server — clients cannot tell the
+difference — and:
+
+* rewrites each ``update`` / ``transaction`` record onto its owning
+  shard (stable hash of the global object id, shard-local ids on the
+  wire to the worker) and forwards it there, pumping outcome replies
+  back to the client verbatim;
+* answers ``{"kind": "snapshot"}`` with the *merged* fleet snapshot —
+  per-shard snapshots fanned in over the workers' own wire protocol and
+  aggregated by :meth:`SimulationResult.merge`, with the router's
+  per-shard accounting in ``extras``.
+
+Workers are plain ``multiprocessing`` ("spawn") children; control flows
+over a pipe (ready/stop/result), data flows over TCP.  Each worker
+rebuilds the (deterministic) :class:`~repro.db.sharding.ShardRouter` from
+the global config, so nothing stateful crosses the process boundary.
+
+:func:`run_sharded_bench` reuses the same worker machinery to measure
+aggregate install throughput at a given shard count, driving each shard
+with an in-process :class:`~repro.live.loadgen.LoadGenerator` (no
+sockets — it measures scheduler capacity, not socket throughput).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.config import SimulationConfig
+from repro.core.sharding import route_spec, route_update, shard_config
+from repro.db.objects import Update
+from repro.db.sharding import ShardRouter
+from repro.live.loadgen import LoadGenerator
+from repro.live.runtime import LiveRuntime
+from repro.live.server import IngestServer
+from repro.metrics.results import SimulationResult
+from repro.metrics.storage import result_from_dict
+from repro.workload.trace import item_from_dict, item_to_dict
+
+#: How long the parent waits for a worker to report its port or result.
+_WORKER_TIMEOUT = 60.0
+
+#: Pipe poll period inside async waits.
+_POLL_INTERVAL = 0.02
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _ignore_signals() -> None:
+    """Shield a worker from group-delivered SIGINT/SIGTERM (Ctrl-C hits
+    the whole foreground group); shutdown arrives over the pipe, and the
+    daemon flag reaps workers if the parent dies."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
+def _serve_worker_main(conn, config, algorithm, algorithm_kwargs, index, shards):
+    """Entry point of one serving shard (runs in a spawned process)."""
+    _ignore_signals()
+    asyncio.run(
+        _serve_worker_async(conn, config, algorithm, algorithm_kwargs, index, shards)
+    )
+
+
+async def _serve_worker_async(conn, config, algorithm, kwargs, index, shards):
+    router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
+    local_config = shard_config(config, router, index)
+    runtime = LiveRuntime(local_config, algorithm, **kwargs)
+    runtime.start()
+    server = IngestServer(runtime, "127.0.0.1", 0)
+    _, port = await server.start()
+    conn.send(("ready", port))
+    while not conn.poll():
+        await asyncio.sleep(0.05)
+    message = conn.recv()  # ("stop", drain_timeout)
+    drain_timeout = message[1] if len(message) > 1 else 5.0
+    await server.stop()
+    result = await runtime.shutdown(drain_timeout=drain_timeout)
+    conn.send(("result", asdict(result)))
+
+
+def _bench_worker_main(
+    conn, config, algorithm, algorithm_kwargs, index, shards, seconds, ramp
+):
+    """Entry point of one benchmark shard (runs in a spawned process)."""
+    _ignore_signals()
+    asyncio.run(
+        _bench_worker_async(
+            conn, config, algorithm, algorithm_kwargs, index, shards, seconds, ramp
+        )
+    )
+
+
+async def _bench_worker_async(conn, config, algorithm, kwargs, index, shards, seconds, ramp):
+    if shards == 1:
+        local_config = config
+    else:
+        router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
+        k_low, k_high = router.counts(index)
+        share = (k_low + k_high) / (config.updates.n_low + config.updates.n_high)
+        local_config = shard_config(config, router, index)
+        # Each shard receives its keyspace share of the offered load, and
+        # a decorrelated seed so shards don't draw phase-locked arrivals.
+        local_config = local_config.with_updates(
+            arrival_rate=config.updates.arrival_rate * share
+        )
+        local_config = local_config.with_transactions(
+            arrival_rate=config.transactions.arrival_rate * share
+        )
+        local_config = local_config.replace(seed=config.seed + 7919 * index)
+    runtime = LiveRuntime(local_config, algorithm, **kwargs)
+    runtime.start()
+    generator = LoadGenerator(runtime)
+    generator.start()
+    if ramp > 0:
+        await asyncio.sleep(ramp)
+        runtime.begin_measurement()
+    await asyncio.sleep(seconds)
+    generator.stop()
+    result = await runtime.shutdown()
+    conn.send(("result", asdict(result)))
+
+
+async def _pipe_recv(conn, process, timeout=_WORKER_TIMEOUT):
+    """Await one pipe message from a worker without blocking the loop."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not conn.poll():
+        if not process.is_alive():
+            raise RuntimeError(
+                f"shard worker pid={process.pid} died "
+                f"(exitcode {process.exitcode})"
+            )
+        if loop.time() > deadline:
+            raise TimeoutError("timed out waiting for a shard worker")
+        await asyncio.sleep(_POLL_INTERVAL)
+    return conn.recv()
+
+
+# ----------------------------------------------------------------------
+# The cluster (parent side)
+# ----------------------------------------------------------------------
+class ShardCluster:
+    """N shard worker processes behind one public JSONL/TCP router.
+
+    Args:
+        config: Global configuration; object counts and queue budgets are
+            split across shards by the router.
+        algorithm: Scheduler registry name (each worker builds its own
+            instance).
+        shards: Worker count (>= 2; use a plain server for one shard).
+        host / port: Public bind address of the router socket.
+        algorithm_kwargs: Constructor args for the algorithm.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        algorithm: str = "TF",
+        *,
+        shards: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        algorithm_kwargs: dict | None = None,
+    ) -> None:
+        if shards < 2:
+            raise ValueError("ShardCluster needs >= 2 shards")
+        if not isinstance(algorithm, str):
+            raise ValueError("sharded serving needs an algorithm name")
+        config.validate()
+        self.config = config
+        self.algorithm = algorithm
+        self.algorithm_kwargs = dict(algorithm_kwargs or {})
+        self.shards = shards
+        self.host = host
+        self.port = port
+        self.router = ShardRouter(
+            config.updates.n_low, config.updates.n_high, shards
+        )
+        self.ports: list[int] = []
+        self.records_received = 0
+        self.errors = 0
+        self._processes: list[multiprocessing.Process] = []
+        self._pipes = []
+        self._server: asyncio.AbstractServer | None = None
+        self._result: SimulationResult | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Spawn the workers, wait for their ports, bind the router."""
+        if self._processes:
+            raise RuntimeError("cluster is already running")
+        context = multiprocessing.get_context("spawn")
+        for index in range(self.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_serve_worker_main,
+                args=(
+                    child_conn,
+                    self.config,
+                    self.algorithm,
+                    self.algorithm_kwargs,
+                    index,
+                    self.shards,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+        self.ports = []
+        for process, conn in zip(self._processes, self._pipes):
+            kind, port = await _pipe_recv(conn, process)
+            if kind != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message: {kind}")
+            self.ports.append(port)
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop_ingest(self) -> None:
+        """Close the public socket; workers keep draining what they have."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def shutdown(self, drain_timeout: float = 5.0) -> SimulationResult:
+        """Stop ingest, drain every worker, and merge the final results."""
+        if self._result is not None:
+            return self._result
+        await self.stop_ingest()
+        for conn in self._pipes:
+            conn.send(("stop", drain_timeout))
+        per_shard: list[SimulationResult] = []
+        for process, conn in zip(self._processes, self._pipes):
+            kind, payload = await _pipe_recv(conn, process)
+            if kind != "result":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message: {kind}")
+            per_shard.append(result_from_dict(payload))
+            process.join(timeout=_WORKER_TIMEOUT)
+        self._result = self._merge(per_shard)
+        return self._result
+
+    def _merge(self, per_shard: list[SimulationResult]) -> SimulationResult:
+        weights = [self.router.counts(index) for index in range(self.shards)]
+        return SimulationResult.merge(
+            per_shard,
+            weights_low=[low for low, _ in weights],
+            weights_high=[high for _, high in weights],
+            extras={
+                **self.router.accounting(),
+                "records_received": self.records_received,
+                "protocol_errors": self.errors,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet snapshot
+    # ------------------------------------------------------------------
+    async def snapshot(self) -> SimulationResult:
+        """One merged mid-run snapshot, fanned in over the wire."""
+        per_shard = await asyncio.gather(
+            *(self._shard_snapshot(port) for port in self.ports)
+        )
+        return self._merge(list(per_shard))
+
+    async def _shard_snapshot(self, port: int) -> SimulationResult:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(b'{"kind": "snapshot"}\n')
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        record = json.loads(line)
+        record.pop("kind", None)
+        return result_from_dict(record)
+
+    # ------------------------------------------------------------------
+    # Public router socket
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        """One client session: route records, pump outcomes back."""
+        upstreams: dict[int, tuple] = {}
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await self._dispatch_line(line, writer, upstreams)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for up_writer, pump in upstreams.values():
+                pump.cancel()
+                up_writer.close()
+            for _, pump in upstreams.values():
+                try:
+                    await pump
+                except (asyncio.CancelledError, Exception):
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(self, line: bytes, writer, upstreams) -> None:
+        try:
+            record = json.loads(line)
+            if record.get("kind") == "snapshot":
+                merged = {"kind": "snapshot"}
+                merged.update(asdict(await self.snapshot()))
+                writer.write(json.dumps(merged).encode("utf-8") + b"\n")
+                await writer.drain()
+                return
+            item = item_from_dict(record)
+            if isinstance(item, Update):
+                shard, routed = route_update(self.router, item)
+            else:
+                shard, routed = route_spec(self.router, item)
+        except (ValueError, KeyError, TypeError, IndexError) as exc:
+            self.errors += 1
+            self.router.note_routing_error()
+            writer.write(
+                json.dumps({"kind": "error", "message": str(exc)}).encode("utf-8")
+                + b"\n"
+            )
+            await writer.drain()
+            return
+        self.records_received += 1
+        up_writer = await self._upstream(shard, writer, upstreams)
+        up_writer.write(json.dumps(item_to_dict(routed)).encode("utf-8") + b"\n")
+        await up_writer.drain()
+
+    async def _upstream(self, shard: int, client_writer, upstreams):
+        """This client's connection to one shard, opened on first use."""
+        entry = upstreams.get(shard)
+        if entry is not None:
+            return entry[0]
+        up_reader, up_writer = await asyncio.open_connection(
+            "127.0.0.1", self.ports[shard]
+        )
+        pump = asyncio.ensure_future(self._pump(up_reader, client_writer))
+        upstreams[shard] = (up_writer, pump)
+        return up_writer
+
+    @staticmethod
+    async def _pump(up_reader, client_writer) -> None:
+        """Forward worker replies (outcomes) to the client verbatim."""
+        try:
+            while True:
+                line = await up_reader.readline()
+                if not line:
+                    return
+                client_writer.write(line)
+                await client_writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
+
+
+# ----------------------------------------------------------------------
+# Sharded throughput benchmark
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedBenchResult:
+    """Outcome of :func:`run_sharded_bench`.
+
+    Attributes:
+        shards: Shard count measured.
+        mode: ``"parallel"`` (all workers concurrently; needs >= shards
+            cores) or ``"sequential"`` (one worker at a time, each with
+            the whole machine — the one-core-per-shard deployment model,
+            used automatically when this host has fewer cores than
+            shards).
+        installs_per_second: Aggregate installed updates per wall second,
+            summed over shards (each normalized by its own window).
+        merged: The merged :class:`SimulationResult` of the fleet.
+        per_shard: Each shard's own result.
+    """
+
+    shards: int
+    mode: str
+    installs_per_second: float
+    merged: SimulationResult
+    per_shard: list[SimulationResult] = field(default_factory=list)
+
+
+def _recv_blocking(conn, process, timeout=_WORKER_TIMEOUT):
+    if not conn.poll(timeout):
+        raise TimeoutError("timed out waiting for a bench worker")
+    return conn.recv()
+
+
+def run_sharded_bench(
+    config: SimulationConfig,
+    algorithm: str = "TF",
+    shards: int = 1,
+    *,
+    seconds: float = 2.0,
+    ramp: float = 0.3,
+    parallel: bool | None = None,
+    algorithm_kwargs: dict | None = None,
+) -> ShardedBenchResult:
+    """Measure aggregate live install throughput at one shard count.
+
+    Every shard — including the ``shards=1`` baseline — runs in its own
+    spawned process under identical conditions: a
+    :class:`~repro.live.runtime.LiveRuntime` driven by an in-process
+    Poisson :class:`~repro.live.loadgen.LoadGenerator` at the shard's
+    keyspace share of the offered rate, with a ramp excluded from the
+    measured window.
+
+    When the host has at least ``shards`` cores the workers run
+    concurrently; otherwise they run back-to-back, each getting the whole
+    machine (the one-core-per-shard model — see ``docs/SCALING.md``).
+    Pass ``parallel`` to force either mode.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    config.validate()
+    if parallel is None:
+        parallel = (os.cpu_count() or 1) >= shards
+    context = multiprocessing.get_context("spawn")
+    kwargs = dict(algorithm_kwargs or {})
+
+    def spawn(index: int):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_bench_worker_main,
+            args=(child_conn, config, algorithm, kwargs, index, shards,
+                  seconds, ramp),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    payloads: list[dict] = []
+    if parallel:
+        workers = [spawn(index) for index in range(shards)]
+        for process, conn in workers:
+            kind, payload = _recv_blocking(conn, process)
+            assert kind == "result", kind
+            payloads.append(payload)
+            process.join(timeout=_WORKER_TIMEOUT)
+    else:
+        for index in range(shards):
+            process, conn = spawn(index)
+            kind, payload = _recv_blocking(conn, process)
+            assert kind == "result", kind
+            payloads.append(payload)
+            process.join(timeout=_WORKER_TIMEOUT)
+
+    per_shard = [result_from_dict(payload) for payload in payloads]
+    # Bench shards draw decorrelated arrival streams on purpose; restore
+    # the root seed so the merge's same-run guard sees one fleet.
+    per_shard = [replace(result, seed=config.seed) for result in per_shard]
+    if shards == 1:
+        weights = [(config.updates.n_low, config.updates.n_high)]
+    else:
+        router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
+        weights = [router.counts(index) for index in range(shards)]
+    merged = SimulationResult.merge(
+        per_shard,
+        weights_low=[low for low, _ in weights],
+        weights_high=[high for _, high in weights],
+        extras={"shards": shards, "bench_mode": "parallel" if parallel else "sequential"},
+    )
+    installs_per_second = sum(
+        result.updates_applied / result.duration
+        for result in per_shard
+        if result.duration > 0
+    )
+    return ShardedBenchResult(
+        shards=shards,
+        mode="parallel" if parallel else "sequential",
+        installs_per_second=installs_per_second,
+        merged=merged,
+        per_shard=per_shard,
+    )

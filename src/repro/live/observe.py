@@ -8,6 +8,13 @@ non-destructively mid-run) plus the live gauges the runtime adds in
 ``extras``: OS/update queue depths, install-latency percentiles, worst
 dispatch lag, watchdog counters.
 
+The source can be anything with a ``snapshot()`` returning a
+``SimulationResult`` — a runtime, or a
+:class:`~repro.live.cluster.ShardCluster` whose (async) snapshot is the
+merged view of the whole shard fleet; the sampling task awaits it either
+way, so one streamer serves both the single-process and the sharded
+deployment.
+
 Lines are self-describing, so the stream can be tailed by a human, plotted
 with ``jq``/pandas, or diffed directly against a simulator result.
 """
@@ -15,6 +22,7 @@ with ``jq``/pandas, or diffed directly against a simulator result.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import sys
 from dataclasses import asdict
@@ -25,10 +33,11 @@ from repro.live.runtime import LiveRuntime
 
 
 class MetricsStreamer:
-    """Periodic JSONL snapshots of a live runtime.
+    """Periodic JSONL snapshots of a live runtime (or shard cluster).
 
     Args:
-        runtime: The runtime to sample.
+        runtime: The object to sample — anything with a ``snapshot()``
+            returning a ``SimulationResult``, sync or async.
         out: Destination — a path (appended to), a file-like object, or
             None to keep samples in memory only.
         interval: Seconds between samples.
@@ -39,7 +48,7 @@ class MetricsStreamer:
 
     def __init__(
         self,
-        runtime: LiveRuntime,
+        runtime,
         out: "str | Path | IO[str] | None" = None,
         *,
         interval: float = 1.0,
@@ -60,8 +69,27 @@ class MetricsStreamer:
 
     # ------------------------------------------------------------------
     def emit(self) -> dict:
-        """Take one snapshot now; write it and return the record."""
-        record = asdict(self.runtime.snapshot())
+        """Take one snapshot now; write it and return the record.
+
+        Only valid for sources with a synchronous ``snapshot()`` (a
+        runtime); a cluster-backed streamer must use :meth:`emit_async`.
+        """
+        snapshot = self.runtime.snapshot()
+        if inspect.isawaitable(snapshot):
+            raise TypeError(
+                "this source's snapshot() is async; use emit_async()"
+            )
+        return self._record(snapshot)
+
+    async def emit_async(self) -> dict:
+        """Like :meth:`emit`, awaiting the snapshot if it is async."""
+        snapshot = self.runtime.snapshot()
+        if inspect.isawaitable(snapshot):
+            snapshot = await snapshot
+        return self._record(snapshot)
+
+    def _record(self, snapshot) -> dict:
+        record = asdict(snapshot)
         self.history.append(record)
         if len(self.history) > self._history_cap:
             del self.history[: len(self.history) - self._history_cap]
@@ -86,7 +114,7 @@ class MetricsStreamer:
                 pass
             self._task = None
         if final_emit:
-            self.emit()
+            await self.emit_async()
         if self._owns_stream and self._stream is not None:
             self._stream.close()
             self._stream = None
@@ -94,7 +122,7 @@ class MetricsStreamer:
     async def _run(self) -> None:
         while True:
             await asyncio.sleep(self.interval)
-            self.emit()
+            await self.emit_async()
 
     @staticmethod
     def format_line(record: dict) -> str:

@@ -7,7 +7,8 @@ the conservation-law tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,142 @@ class SimulationResult:
             + self.transactions_in_flight
         )
         return self.transactions_arrived - accounted
+
+    @staticmethod
+    def merge(
+        results: "Iterable[SimulationResult]",
+        *,
+        weights_low: Sequence[float] | None = None,
+        weights_high: Sequence[float] | None = None,
+        extras: dict | None = None,
+    ) -> "SimulationResult":
+        """Aggregate per-shard results into one report.
+
+        Counters (transaction outcomes, update fates, context switches)
+        are summed, so both conservation laws — linear in those counters —
+        carry over exactly: if every input has a zero gap, the merged
+        result does too.  The headline fractions are *recomputed from the
+        summed counters*, not averaged, so ``p_md``/``p_success`` weight
+        every transaction equally regardless of which shard ran it.
+
+        The staleness integrals ``fold_low``/``fold_high`` are per-shard
+        time-averages over that shard's objects; their exact global
+        counterpart is the object-count-weighted mean, so pass each
+        shard's owned object counts as ``weights_low``/``weights_high``
+        (equal weights are assumed otherwise).  CPU utilizations are
+        averaged: each shard runs on its own core, so the merged rho is
+        the busy fraction of the *aggregate* capacity and the
+        ``rho_total <= 1`` invariant is preserved.
+
+        ``duration`` is the maximum over shards (windows are expected to
+        be near-identical; rates are normalized by this common window),
+        and ``mean_update_queue_length`` is summed (total queued updates
+        across the fleet).
+
+        Args:
+            results: Per-shard results; must agree on algorithm,
+                staleness policy, and seed.
+            weights_low: Per-shard low-importance object counts (fold
+                weighting); defaults to equal weights.
+            weights_high: Per-shard high-importance object counts.
+            extras: ``extras`` dict of the merged result (per-shard extras
+                are shard-local gauges and are intentionally not merged).
+
+        Returns:
+            The merged result.  A single-element input is returned as-is
+            (with ``extras`` replaced when given) — the one-shard path
+            stays bit-identical.
+        """
+        shard_results = list(results)
+        if not shard_results:
+            raise ValueError("cannot merge zero results")
+        if len(shard_results) == 1:
+            only = shard_results[0]
+            return only if extras is None else replace(only, extras=extras)
+        first = shard_results[0]
+        for other in shard_results[1:]:
+            if (
+                other.algorithm != first.algorithm
+                or other.staleness != first.staleness
+                or other.seed != first.seed
+            ):
+                raise ValueError(
+                    "refusing to merge results from different runs: "
+                    f"{(first.algorithm, first.staleness, first.seed)} vs "
+                    f"{(other.algorithm, other.staleness, other.seed)}"
+                )
+
+        def total(name: str):
+            return sum(getattr(result, name) for result in shard_results)
+
+        def mean(name: str) -> float:
+            return total(name) / len(shard_results)
+
+        def weighted(name: str, weights: Sequence[float] | None) -> float:
+            values = [getattr(result, name) for result in shard_results]
+            if weights is None:
+                weights = [1.0] * len(values)
+            if len(weights) != len(values):
+                raise ValueError(
+                    f"{len(values)} results but {len(weights)} weights"
+                )
+            denominator = sum(weights)
+            if denominator == 0:
+                return 0.0
+            numerator = sum(v * w for v, w in zip(values, weights))
+            return numerator / denominator
+
+        duration = max(result.duration for result in shard_results)
+        committed = total("transactions_committed")
+        committed_fresh = total("transactions_committed_fresh")
+        missed = total("transactions_missed")
+        aborted_stale = total("transactions_aborted_stale")
+        finished = committed + missed + aborted_stale
+        value_earned = total("value_earned")
+
+        return SimulationResult(
+            algorithm=first.algorithm,
+            staleness=first.staleness,
+            duration=duration,
+            seed=first.seed,
+            p_md=1.0 - (committed / finished) if finished else 0.0,
+            p_success=(committed_fresh / finished) if finished else 0.0,
+            p_suc_nontardy=(committed_fresh / committed) if committed else 0.0,
+            average_value=value_earned / duration if duration > 0 else 0.0,
+            fold_low=weighted("fold_low", weights_low),
+            fold_high=weighted("fold_high", weights_high),
+            rho_transactions=mean("rho_transactions"),
+            rho_updates=mean("rho_updates"),
+            transactions_arrived=total("transactions_arrived"),
+            transactions_committed=committed,
+            transactions_committed_fresh=committed_fresh,
+            transactions_missed=missed,
+            transactions_aborted_stale=aborted_stale,
+            transactions_infeasible=total("transactions_infeasible"),
+            transactions_in_flight=total("transactions_in_flight"),
+            value_earned=value_earned,
+            value_offered=total("value_offered"),
+            stale_reads=total("stale_reads"),
+            view_reads=total("view_reads"),
+            updates_arrived=total("updates_arrived"),
+            updates_received=total("updates_received"),
+            updates_enqueued=total("updates_enqueued"),
+            updates_applied=total("updates_applied"),
+            updates_skipped=total("updates_skipped"),
+            updates_on_demand_applied=total("updates_on_demand_applied"),
+            updates_on_demand_scans=total("updates_on_demand_scans"),
+            updates_os_dropped=total("updates_os_dropped"),
+            updates_expired=total("updates_expired"),
+            updates_overflowed=total("updates_overflowed"),
+            updates_superseded=total("updates_superseded"),
+            updates_pending_os=total("updates_pending_os"),
+            updates_pending_queue=total("updates_pending_queue"),
+            mean_update_queue_length=total("mean_update_queue_length"),
+            context_switches=total("context_switches"),
+            preemptions=total("preemptions"),
+            events_dispatched=total("events_dispatched"),
+            extras=extras if extras is not None else {},
+        )
 
     def summary(self) -> str:
         """One-line digest for logs."""
