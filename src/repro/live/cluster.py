@@ -50,6 +50,22 @@ from repro.workload.trace import item_from_dict, item_to_dict
 #: How long the parent waits for a worker to report its port or result.
 _WORKER_TIMEOUT = 60.0
 
+
+async def _apply_backpressure(writer: asyncio.StreamWriter) -> None:
+    """Wait for the transport only when it is actually over high water.
+
+    ``await writer.drain()`` after every record costs a coroutine round
+    trip per update even though it only ever *waits* when the transport's
+    write buffer has crossed its high-water mark.  Checking the buffer
+    size first keeps the forwarding loops synchronous in the common case
+    while preserving exactly the same backpressure semantics: a slow
+    reader still suspends the writer until the buffer falls back below
+    the low-water mark.
+    """
+    transport = writer.transport
+    if transport.get_write_buffer_size() > transport.get_write_buffer_limits()[1]:
+        await writer.drain()
+
 #: Pipe poll period inside async waits.
 _POLL_INTERVAL = 0.02
 
@@ -354,7 +370,7 @@ class ShardCluster:
         self.records_received += 1
         up_writer = await self._upstream(shard, writer, upstreams)
         up_writer.write(json.dumps(item_to_dict(routed)).encode("utf-8") + b"\n")
-        await up_writer.drain()
+        await _apply_backpressure(up_writer)
 
     async def _upstream(self, shard: int, client_writer, upstreams):
         """This client's connection to one shard, opened on first use."""
@@ -377,7 +393,7 @@ class ShardCluster:
                 if not line:
                     return
                 client_writer.write(line)
-                await client_writer.drain()
+                await _apply_backpressure(client_writer)
         except (ConnectionResetError, BrokenPipeError):
             return
 
