@@ -157,17 +157,32 @@ def item_from_dict(record: dict):
     raise ValueError(f"unknown trace record kind: {kind!r}")
 
 
+#: Lines buffered between ``writelines`` calls in :func:`save_trace` —
+#: large enough to amortize the I/O call, small enough to keep the buffer
+#: from holding a whole multi-million-record trace in memory.
+_SAVE_CHUNK = 4096
+
+
 def save_trace(path, items: Iterable) -> int:
     """Write updates and/or transaction specs to ``path`` as JSONL.
+
+    Lines are buffered and flushed through ``writelines`` in chunks of
+    :data:`_SAVE_CHUNK` instead of one ``write`` call per record.
 
     Returns:
         The number of items written.
     """
     count = 0
+    chunk: list[str] = []
     with Path(path).open("w", encoding="utf-8") as handle:
         for item in items:
-            handle.write(json.dumps(item_to_dict(item)) + "\n")
+            chunk.append(json.dumps(item_to_dict(item)) + "\n")
             count += 1
+            if len(chunk) >= _SAVE_CHUNK:
+                handle.writelines(chunk)
+                chunk.clear()
+        if chunk:
+            handle.writelines(chunk)
     return count
 
 
