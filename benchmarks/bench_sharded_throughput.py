@@ -17,8 +17,18 @@ The acceptance bar: 4 shards sustain >= 1.5x the installs/s of 1 shard.
 Run with ``pytest benchmarks/bench_sharded_throughput.py --benchmark-only``.
 """
 
+import asyncio
+import gc
+import os
+import time
+
 from repro.config import baseline_config
 from repro.live import run_sharded_bench
+from repro.live.cluster import ShardCluster
+from repro.live.wire import CoalescingWriter
+from repro.sim.streams import StreamFamily
+from repro.workload.codec import encode_item
+from repro.workload.updates import UpdateStreamGenerator
 
 #: Offered aggregate load, far past what one core installs (~20k/s on CI
 #: hardware), so every added shard has headroom to convert into installs.
@@ -26,8 +36,23 @@ OFFERED_RATE = 60_000.0
 
 SHARD_COUNTS = (1, 2, 4)
 
-MEASURE_SECONDS = 2.0
-RAMP_SECONDS = 0.3
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+MEASURE_SECONDS = 0.5 if QUICK else 2.0
+RAMP_SECONDS = 0.15 if QUICK else 0.3
+
+#: The round-trip test's bar: with the router in the path (client ->
+#: router -> worker, one extra hop per record), the batched wire must
+#: carry at least double the per-record framing's installs/s.
+ROUNDTRIP_SPEEDUP_BAR = 2.0
+
+#: Offered load and simulated CPU for the round-trip test — see
+#: bench_live_throughput: ips is raised so the simulated install cost
+#: does not mask the wire overhead under measurement, and the update
+#: queue is deepened so saturation shows up as queueing, not as
+#: overflow-churn collapse.
+ROUNDTRIP_OFFERED_RATE = 60_000.0
+ROUNDTRIP_IPS = 1e10
 
 
 def _config():
@@ -67,3 +92,116 @@ def test_sharded_install_throughput(benchmark):
         f"4 shards sustained {rates[4]:,.0f} installs/s vs "
         f"{rates[1]:,.0f} at 1 shard — less than 1.5x"
     )
+
+
+def _roundtrip_config():
+    config = baseline_config(duration=1.0, seed=2025)
+    config.warmup = 0.0
+    config = config.with_updates(
+        arrival_rate=ROUNDTRIP_OFFERED_RATE, mean_age=0.0
+    )
+    config = config.with_transactions(arrival_rate=1.0)
+    return config.with_system(ips=ROUNDTRIP_IPS, update_queue_max=500_000)
+
+
+def _drawn_update_lines(config, count=20_000):
+    streams = StreamFamily(config.seed)
+    generator = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    t = 0.0
+    lines = []
+    for _ in range(count):
+        t += generator.next_interarrival()
+        lines.append(encode_item(generator.draw_update(t)).encode() + b"\n")
+    return lines
+
+
+async def _drive_cluster(batch_max, flush_us, lines):
+    """Offer paced updates through a live 2-shard router round-trip.
+
+    Every record crosses two hops — client -> router, router -> worker —
+    so per-record framing pays its syscall + event-loop round trip twice.
+    Rate is measured as the delta between two merged fleet snapshots over
+    a wall-clock window, so worker startup cost is excluded.
+    """
+    cluster = ShardCluster(
+        _roundtrip_config(), "TF", shards=2,
+        batch_max=batch_max, flush_us=flush_us,
+    )
+    host, port = await cluster.start()
+    _, writer = await asyncio.open_connection(host, port)
+
+    async def send():
+        out = CoalescingWriter(writer, batch_max=batch_max, flush_us=flush_us)
+        loop = asyncio.get_running_loop()
+        interval = batch_max / ROUNDTRIP_OFFERED_RATE
+        next_at = loop.time()
+        index = 0
+        total = len(lines)
+        while True:
+            for _ in range(batch_max):
+                out.write(lines[index])
+                index = (index + 1) % total
+            out.flush()
+            await out.backpressure()
+            next_at += interval
+            delay = next_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            else:
+                next_at = loop.time()  # fell behind: run flat out
+                await asyncio.sleep(0)
+
+    sender = asyncio.ensure_future(send())
+    try:
+        await asyncio.sleep(RAMP_SECONDS)
+        before = time.perf_counter()
+        first = await cluster.snapshot()
+        start = (before + time.perf_counter()) / 2
+        await asyncio.sleep(MEASURE_SECONDS)
+        before = time.perf_counter()
+        second = await cluster.snapshot()
+        end = (before + time.perf_counter()) / 2
+        installed = second.updates_applied - first.updates_applied
+        rate = installed / (end - start)
+    finally:
+        sender.cancel()
+        try:
+            await sender
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass
+        writer.close()
+        await cluster.shutdown(drain_timeout=10.0)
+    assert installed > 0
+    return rate
+
+
+def test_cluster_roundtrip_throughput(benchmark):
+    """Tentpole bar #2: batched 2-shard round-trip >= 2x per-record."""
+    lines = _drawn_update_lines(_roundtrip_config())
+    rates = {"per_record": 0.0, "batched": 0.0}
+    rounds = 1 if QUICK else 2
+
+    def run():
+        for _ in range(rounds):
+            gc.collect()
+            rates["per_record"] = max(
+                rates["per_record"], asyncio.run(_drive_cluster(1, 0.0, lines))
+            )
+            gc.collect()
+            rates["batched"] = max(
+                rates["batched"],
+                asyncio.run(_drive_cluster(256, 500.0, lines)),
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = rates["batched"] / rates["per_record"]
+    benchmark.extra_info["installs_per_second_per_record"] = rates["per_record"]
+    benchmark.extra_info["installs_per_second_batched"] = rates["batched"]
+    benchmark.extra_info["roundtrip_batched_speedup"] = speedup
+    benchmark.extra_info["best_of_rounds"] = rounds
+    print(f"\n2-shard round-trip per-record: {rates['per_record']:,.0f}/s, "
+          f"batched: {rates['batched']:,.0f}/s ({speedup:.1f}x)")
+    if not QUICK:
+        assert speedup >= ROUNDTRIP_SPEEDUP_BAR, (
+            f"batched round-trip is only {speedup:.2f}x the per-record path"
+        )

@@ -1,0 +1,122 @@
+"""Flag throughput regressions between the last two BENCH_perf.json runs.
+
+For every benchmark, the two most recent sessions that recorded it (and
+that ran at the same scale — quick-mode CI smoke entries are only compared
+with other quick-mode entries) are diffed on their throughput metrics:
+
+* any ``extra_info`` key containing ``per_second``,
+* the top-level ``events_per_second`` of the engine microbenchmark,
+* and, when a benchmark records no rate at all, ``1 / mean_s``.
+
+A drop of more than ``--threshold`` (default 15%) on any metric is a
+regression: it is printed and the process exits non-zero.  The CI job that
+runs this is non-gating (``continue-on-error``) — on a shared runner a 15%
+swing can be noise, so the signal is for the reviewer, not the merge queue.
+
+Usage::
+
+    python benchmarks/compare_bench.py [--json BENCH_perf.json]
+                                       [--threshold 0.15] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+DEFAULT_THRESHOLD = 0.15
+
+
+def throughput_metrics(entry: dict) -> dict[str, float]:
+    """Extract the comparable rate metrics from one benchmark record."""
+    metrics: dict[str, float] = {}
+    if isinstance(entry.get("events_per_second"), (int, float)):
+        metrics["events_per_second"] = float(entry["events_per_second"])
+    for key, value in (entry.get("extra_info") or {}).items():
+        if "per_second" in key and isinstance(value, (int, float)):
+            metrics[key] = float(value)
+    if not metrics and isinstance(entry.get("mean_s"), (int, float)):
+        if entry["mean_s"] > 0:
+            metrics["runs_per_second"] = 1.0 / float(entry["mean_s"])
+    return metrics
+
+
+def last_two(history: list[dict], fullname: str, quick: bool):
+    """The two most recent same-scale sessions that ran this benchmark."""
+    found = []
+    for record in reversed(history):
+        if bool(record.get("quick")) != quick:
+            continue
+        entry = (record.get("benchmarks") or {}).get(fullname)
+        if entry is not None:
+            found.append((record.get("timestamp", "?"), entry))
+        if len(found) == 2:
+            break
+    return found
+
+
+def compare(history: list[dict], threshold: float, quick: bool) -> int:
+    names = sorted({
+        fullname
+        for record in history
+        if bool(record.get("quick")) == quick
+        for fullname in (record.get("benchmarks") or {})
+    })
+    regressions = 0
+    for fullname in names:
+        pair = last_two(history, fullname, quick)
+        if len(pair) < 2:
+            print(f"  {fullname}: only one recorded run, nothing to compare")
+            continue
+        (new_ts, new), (old_ts, old) = pair
+        new_metrics = throughput_metrics(new)
+        old_metrics = throughput_metrics(old)
+        for key in sorted(set(new_metrics) & set(old_metrics)):
+            before, after = old_metrics[key], new_metrics[key]
+            if before <= 0:
+                continue
+            change = (after - before) / before
+            marker = "ok"
+            if change < -threshold:
+                marker = f"REGRESSION (>{threshold:.0%} drop)"
+                regressions += 1
+            print(f"  {fullname} [{key}]: {before:,.1f} ({old_ts}) -> "
+                  f"{after:,.1f} ({new_ts}), {change:+.1%}  {marker}")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help="performance history file (default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative drop that counts as a regression "
+                             "(default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="compare quick-mode (CI smoke) sessions instead "
+                             "of full-scale ones")
+    args = parser.parse_args(argv)
+    try:
+        history = json.loads(args.json.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.json}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(history, list) or not history:
+        print(f"{args.json} holds no benchmark history", file=sys.stderr)
+        return 2
+    scale = "quick" if args.quick else "full"
+    print(f"comparing the last two {scale}-scale runs per benchmark "
+          f"(threshold {args.threshold:.0%}):")
+    regressions = compare(history, args.threshold, args.quick)
+    if regressions:
+        print(f"{regressions} throughput regression(s) found")
+        return 1
+    print("no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ warmup; set ``REPRO_FULL=1`` for the paper's 1000-second points.
 """
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -51,6 +52,10 @@ def pytest_sessionfinish(session, exitstatus):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "exit_status": exitstatus,
+        # Quick-mode sessions (CI perf smoke) use shorter windows, so their
+        # numbers are only comparable to other quick-mode sessions; see
+        # benchmarks/compare_bench.py.
+        "quick": os.environ.get("REPRO_BENCH_QUICK") == "1",
         "benchmarks": stats,
     }
     try:

@@ -376,12 +376,15 @@ class Controller:
                 horizon = next_event
         start = engine.now
         switch_seconds = self._take_switch_seconds("update-process")
-        total = (self._install_seconds(first) + first_extra) + switch_seconds
+        first_seconds = self._install_seconds(first) + first_extra
+        total = first_seconds + switch_seconds
         end = start + total
-        if horizon is None or end >= horizon:
-            # The very first install runs into the next scheduling point
-            # (or we are outside run_until); keep the plain single burst,
-            # which may legitimately span events or never complete.
+        if horizon is None or end + first_seconds >= horizon:
+            # The first install runs into the next scheduling point (or we
+            # are outside run_until), or the horizon leaves no room for a
+            # second one — a one-install "batch" is pure assembly overhead.
+            # Keep the plain single burst, which may legitimately span
+            # events or never complete.
             event = engine.schedule_at(end, self._burst_done)
             self._installing = first
             self._busy = _Burst(

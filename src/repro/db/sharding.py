@@ -165,11 +165,11 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Routing accounting
     # ------------------------------------------------------------------
-    def note_update_routed(self, shard: int) -> None:
-        self.updates_routed[shard] += 1
+    def note_update_routed(self, shard: int, count: int = 1) -> None:
+        self.updates_routed[shard] += count
 
-    def note_transaction_routed(self, shard: int) -> None:
-        self.transactions_routed[shard] += 1
+    def note_transaction_routed(self, shard: int, count: int = 1) -> None:
+        self.transactions_routed[shard] += count
 
     def note_remapped_read(self, count: int = 1) -> None:
         self.remapped_reads += count

@@ -33,8 +33,10 @@ from repro.live.loadgen import LoadGenerator
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
 from repro.live.server import IngestServer
+from repro.live.wire import DEFAULT_BATCH_MAX, DEFAULT_FLUSH_US, CoalescingWriter
 from repro.sim.streams import StreamFamily
-from repro.workload.trace import item_to_dict, load_trace
+from repro.workload.codec import encode_item
+from repro.workload.trace import load_trace
 from repro.workload.transactions import TransactionGenerator
 from repro.workload.updates import UpdateStreamGenerator
 
@@ -62,6 +64,18 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         "(default: the paper's 50e6)")
     parser.add_argument("--indexed-queue", action="store_true", default=None,
                         help="hash-index the update queue (newest per object)")
+
+
+def _add_batch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch-max", type=int, default=DEFAULT_BATCH_MAX,
+                        help="records per coalesced wire write / ingest "
+                        f"batch (default {DEFAULT_BATCH_MAX}, from the "
+                        "benchmark sweep in docs/PERFORMANCE.md; "
+                        "1 = per-record, the pre-batching wire behavior)")
+    parser.add_argument("--flush-us", type=float, default=DEFAULT_FLUSH_US,
+                        help="flush deadline in microseconds for partially "
+                        f"filled wire batches (default {DEFAULT_FLUSH_US:.0f}; "
+                        "bounds how long a lone record can sit buffered)")
 
 
 def _build_config(args) -> SimulationConfig:
@@ -94,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="host the scheduler on a TCP socket")
     _add_config_args(serve)
+    _add_batch_args(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7995)
     serve.add_argument("--shards", type=int, default=1,
@@ -110,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen = sub.add_parser("loadgen",
                              help="stream traffic at a running server")
     _add_config_args(loadgen)
+    _add_batch_args(loadgen)
     loadgen.add_argument("--host", default="127.0.0.1")
     loadgen.add_argument("--port", type=int, default=7995)
     loadgen.add_argument("--seconds", type=float, default=10.0)
@@ -119,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench",
                            help="in-process throughput/latency benchmark")
     _add_config_args(bench)
+    _add_batch_args(bench)
     bench.add_argument("--seconds", type=float, default=2.0)
     bench.add_argument("--ramp", type=float, default=0.25,
                        help="warmup seconds excluded from the measurement")
@@ -155,7 +172,8 @@ async def _serve(args) -> int:
     config = _build_config(args)
     runtime = LiveRuntime(config, args.algorithm)
     runtime.start()
-    server = IngestServer(runtime, args.host, args.port)
+    server = IngestServer(runtime, args.host, args.port,
+                          batch_max=args.batch_max, flush_us=args.flush_us)
     host, port = await server.start()
     print(f"repro-live: {args.algorithm} serving on {host}:{port} "
           f"(SIGINT drains and exits)", file=sys.stderr, flush=True)
@@ -196,6 +214,7 @@ async def _serve_sharded(args) -> int:
     cluster = ShardCluster(
         config, args.algorithm, shards=args.shards,
         host=args.host, port=args.port,
+        batch_max=args.batch_max, flush_us=args.flush_us,
     )
     host, port = await cluster.start()
     print(f"repro-live: {args.algorithm} serving on {host}:{port} across "
@@ -240,6 +259,8 @@ async def _read_outcomes(reader: asyncio.StreamReader, counts: dict) -> None:
 
 async def _loadgen(args) -> int:
     reader, writer = await asyncio.open_connection(args.host, args.port)
+    out = CoalescingWriter(writer, batch_max=args.batch_max,
+                           flush_us=args.flush_us)
     counts: dict[str, int] = {}
     outcome_task = asyncio.ensure_future(_read_outcomes(reader, counts))
     sent = 0
@@ -247,7 +268,7 @@ async def _loadgen(args) -> int:
 
     def write_item(item) -> None:
         nonlocal sent
-        writer.write(json.dumps(item_to_dict(item)).encode() + b"\n")
+        out.write(encode_item(item).encode() + b"\n")
         sent += 1
 
     if args.trace is not None:
@@ -257,7 +278,7 @@ async def _loadgen(args) -> int:
             if delay > 0:
                 await asyncio.sleep(delay)
             write_item(item)
-            await writer.drain()
+            await out.backpressure()
     else:
         config = _build_config(args)
         streams = StreamFamily(config.seed)
@@ -272,6 +293,7 @@ async def _loadgen(args) -> int:
                 break
             upcoming = min(next_update, next_txn)
             if upcoming > now:
+                out.flush()  # nothing due: don't park what's buffered
                 await asyncio.sleep(min(upcoming - now, args.seconds - now))
                 continue
             if next_update <= next_txn:
@@ -280,9 +302,9 @@ async def _loadgen(args) -> int:
             else:
                 write_item(txn_gen.draw_spec(next_txn))
                 next_txn += txn_gen.next_interarrival()
-            await writer.drain()
+            await out.backpressure()
 
-    await writer.drain()
+    await out.drain()
     # Give in-flight transaction outcomes a moment to come back.
     await asyncio.sleep(0.25)
     outcome_task.cancel()
@@ -306,7 +328,7 @@ async def _bench(args) -> int:
     config = _build_config(args)
     runtime = LiveRuntime(config, args.algorithm)
     runtime.start()
-    generator = LoadGenerator(runtime)
+    generator = LoadGenerator(runtime, batch_max=args.batch_max)
     generator.start()
     if args.ramp > 0:
         await asyncio.sleep(args.ramp)
@@ -338,7 +360,7 @@ def _bench_sharded(args) -> int:
     config = _build_config(args)
     outcome = run_sharded_bench(
         config, args.algorithm, args.shards,
-        seconds=args.seconds, ramp=args.ramp,
+        seconds=args.seconds, ramp=args.ramp, batch_max=args.batch_max,
     )
     merged = outcome.merged
     print(f"algorithm:        {args.algorithm}")

@@ -37,34 +37,23 @@ import signal
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.config import SimulationConfig
-from repro.core.sharding import route_spec, route_update, shard_config
-from repro.db.objects import Update
+from repro.core.sharding import route_batch, shard_config
 from repro.db.sharding import ShardRouter
 from repro.live.loadgen import LoadGenerator
 from repro.live.runtime import LiveRuntime
 from repro.live.server import IngestServer
+from repro.live.wire import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_FLUSH_US,
+    CoalescingWriter,
+    iter_line_batches,
+)
 from repro.metrics.results import SimulationResult
 from repro.metrics.storage import result_from_dict
-from repro.workload.trace import item_from_dict, item_to_dict
+from repro.workload.codec import decode_lines, encode_lines, item_from_record
 
 #: How long the parent waits for a worker to report its port or result.
 _WORKER_TIMEOUT = 60.0
-
-
-async def _apply_backpressure(writer: asyncio.StreamWriter) -> None:
-    """Wait for the transport only when it is actually over high water.
-
-    ``await writer.drain()`` after every record costs a coroutine round
-    trip per update even though it only ever *waits* when the transport's
-    write buffer has crossed its high-water mark.  Checking the buffer
-    size first keeps the forwarding loops synchronous in the common case
-    while preserving exactly the same backpressure semantics: a slow
-    reader still suspends the writer until the buffer falls back below
-    the low-water mark.
-    """
-    transport = writer.transport
-    if transport.get_write_buffer_size() > transport.get_write_buffer_limits()[1]:
-        await writer.drain()
 
 #: Pipe poll period inside async waits.
 _POLL_INTERVAL = 0.02
@@ -81,20 +70,31 @@ def _ignore_signals() -> None:
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
 
-def _serve_worker_main(conn, config, algorithm, algorithm_kwargs, index, shards):
+def _serve_worker_main(
+    conn, config, algorithm, algorithm_kwargs, index, shards,
+    batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
+):
     """Entry point of one serving shard (runs in a spawned process)."""
     _ignore_signals()
     asyncio.run(
-        _serve_worker_async(conn, config, algorithm, algorithm_kwargs, index, shards)
+        _serve_worker_async(
+            conn, config, algorithm, algorithm_kwargs, index, shards,
+            batch_max, flush_us,
+        )
     )
 
 
-async def _serve_worker_async(conn, config, algorithm, kwargs, index, shards):
+async def _serve_worker_async(
+    conn, config, algorithm, kwargs, index, shards,
+    batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
+):
     router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
     local_config = shard_config(config, router, index)
     runtime = LiveRuntime(local_config, algorithm, **kwargs)
     runtime.start()
-    server = IngestServer(runtime, "127.0.0.1", 0)
+    server = IngestServer(
+        runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us
+    )
     _, port = await server.start()
     conn.send(("ready", port))
     while not conn.poll():
@@ -107,18 +107,23 @@ async def _serve_worker_async(conn, config, algorithm, kwargs, index, shards):
 
 
 def _bench_worker_main(
-    conn, config, algorithm, algorithm_kwargs, index, shards, seconds, ramp
+    conn, config, algorithm, algorithm_kwargs, index, shards, seconds, ramp,
+    batch_max=DEFAULT_BATCH_MAX,
 ):
     """Entry point of one benchmark shard (runs in a spawned process)."""
     _ignore_signals()
     asyncio.run(
         _bench_worker_async(
-            conn, config, algorithm, algorithm_kwargs, index, shards, seconds, ramp
+            conn, config, algorithm, algorithm_kwargs, index, shards,
+            seconds, ramp, batch_max
         )
     )
 
 
-async def _bench_worker_async(conn, config, algorithm, kwargs, index, shards, seconds, ramp):
+async def _bench_worker_async(
+    conn, config, algorithm, kwargs, index, shards, seconds, ramp,
+    batch_max=DEFAULT_BATCH_MAX,
+):
     if shards == 1:
         local_config = config
     else:
@@ -137,7 +142,7 @@ async def _bench_worker_async(conn, config, algorithm, kwargs, index, shards, se
         local_config = local_config.replace(seed=config.seed + 7919 * index)
     runtime = LiveRuntime(local_config, algorithm, **kwargs)
     runtime.start()
-    generator = LoadGenerator(runtime)
+    generator = LoadGenerator(runtime, batch_max=batch_max)
     generator.start()
     if ramp > 0:
         await asyncio.sleep(ramp)
@@ -189,6 +194,8 @@ class ShardCluster:
         host: str = "127.0.0.1",
         port: int = 0,
         algorithm_kwargs: dict | None = None,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardCluster needs >= 2 shards")
@@ -201,6 +208,8 @@ class ShardCluster:
         self.shards = shards
         self.host = host
         self.port = port
+        self.batch_max = batch_max
+        self.flush_us = flush_us
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
@@ -231,6 +240,8 @@ class ShardCluster:
                     self.algorithm_kwargs,
                     index,
                     self.shards,
+                    self.batch_max,
+                    self.flush_us,
                 ),
                 daemon=True,
             )
@@ -316,63 +327,79 @@ class ShardCluster:
     # Public router socket
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
-        """One client session: route records, pump outcomes back."""
-        upstreams: dict[int, tuple] = {}
+        """One client session: route record batches, pump outcomes back."""
+        upstreams: "dict[int, tuple[CoalescingWriter, asyncio.Task]]" = {}
+        downstream = CoalescingWriter(
+            writer, batch_max=self.batch_max, flush_us=self.flush_us
+        )
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                await self._dispatch_line(line, writer, upstreams)
+            async for lines in iter_line_batches(reader):
+                await self._dispatch_batch(lines, downstream, upstreams)
+                await downstream.backpressure()
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
-            for up_writer, pump in upstreams.values():
-                pump.cancel()
-                up_writer.close()
             for _, pump in upstreams.values():
+                pump.cancel()
+            for up, pump in upstreams.values():
                 try:
                     await pump
                 except (asyncio.CancelledError, Exception):
                     pass
-            writer.close()
+                await up.aclose()
+            await downstream.aclose()
+
+    async def _dispatch_batch(self, lines, downstream, upstreams) -> None:
+        """Decode one wire batch, route it, forward per (shard, batch).
+
+        A snapshot request flushes the routable records collected so far
+        (so it observes every earlier record on each shard's connection),
+        then answers with the merged fleet snapshot.  A malformed line
+        gets its error reply and its neighbors proceed — same per-record
+        error semantics as the unbatched path.
+        """
+        records = decode_lines(lines)
+        items: list = []
+        for record in records:
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+                if isinstance(record, Exception):
+                    raise record
+                if isinstance(record, dict) and record.get("kind") == "snapshot":
+                    await self._forward(items, downstream, upstreams)
+                    items = []
+                    merged = {"kind": "snapshot"}
+                    merged.update(asdict(await self.snapshot()))
+                    downstream.write(json.dumps(merged).encode("utf-8") + b"\n")
+                    continue
+                items.append(item_from_record(record))
+            except (ValueError, KeyError, TypeError) as exc:
+                self.errors += 1
+                self.router.note_routing_error()
+                self._error_reply(downstream, exc)
+        await self._forward(items, downstream, upstreams)
 
-    async def _dispatch_line(self, line: bytes, writer, upstreams) -> None:
-        try:
-            record = json.loads(line)
-            if record.get("kind") == "snapshot":
-                merged = {"kind": "snapshot"}
-                merged.update(asdict(await self.snapshot()))
-                writer.write(json.dumps(merged).encode("utf-8") + b"\n")
-                await writer.drain()
-                return
-            item = item_from_dict(record)
-            if isinstance(item, Update):
-                shard, routed = route_update(self.router, item)
-            else:
-                shard, routed = route_spec(self.router, item)
-        except (ValueError, KeyError, TypeError, IndexError) as exc:
-            self.errors += 1
-            self.router.note_routing_error()
-            writer.write(
-                json.dumps({"kind": "error", "message": str(exc)}).encode("utf-8")
-                + b"\n"
-            )
-            await writer.drain()
+    async def _forward(self, items, downstream, upstreams) -> None:
+        """Group a decoded batch by shard; one coalesced write per shard."""
+        if not items:
             return
-        self.records_received += 1
-        up_writer = await self._upstream(shard, writer, upstreams)
-        up_writer.write(json.dumps(item_to_dict(routed)).encode("utf-8") + b"\n")
-        await _apply_backpressure(up_writer)
+        def on_error(_item, exc):
+            self.errors += 1
+            self._error_reply(downstream, exc)
+        by_shard = route_batch(self.router, items, on_error=on_error)
+        for shard, routed in by_shard.items():
+            self.records_received += len(routed)
+            up = await self._upstream(shard, downstream, upstreams)
+            up.write_batch(encode_lines(routed), len(routed))
+            await up.backpressure()
 
-    async def _upstream(self, shard: int, client_writer, upstreams):
+    @staticmethod
+    def _error_reply(downstream: CoalescingWriter, exc: Exception) -> None:
+        downstream.write(
+            json.dumps({"kind": "error", "message": str(exc)}).encode("utf-8")
+            + b"\n"
+        )
+
+    async def _upstream(self, shard: int, downstream, upstreams) -> CoalescingWriter:
         """This client's connection to one shard, opened on first use."""
         entry = upstreams.get(shard)
         if entry is not None:
@@ -380,20 +407,20 @@ class ShardCluster:
         up_reader, up_writer = await asyncio.open_connection(
             "127.0.0.1", self.ports[shard]
         )
-        pump = asyncio.ensure_future(self._pump(up_reader, client_writer))
-        upstreams[shard] = (up_writer, pump)
-        return up_writer
+        up = CoalescingWriter(
+            up_writer, batch_max=self.batch_max, flush_us=self.flush_us
+        )
+        pump = asyncio.ensure_future(self._pump(up_reader, downstream))
+        upstreams[shard] = (up, pump)
+        return up
 
     @staticmethod
-    async def _pump(up_reader, client_writer) -> None:
+    async def _pump(up_reader, downstream: CoalescingWriter) -> None:
         """Forward worker replies (outcomes) to the client verbatim."""
         try:
-            while True:
-                line = await up_reader.readline()
-                if not line:
-                    return
-                client_writer.write(line)
-                await _apply_backpressure(client_writer)
+            async for lines in iter_line_batches(up_reader):
+                downstream.write_batch(b"\n".join(lines) + b"\n", len(lines))
+                await downstream.backpressure()
         except (ConnectionResetError, BrokenPipeError):
             return
 
@@ -440,6 +467,7 @@ def run_sharded_bench(
     ramp: float = 0.3,
     parallel: bool | None = None,
     algorithm_kwargs: dict | None = None,
+    batch_max: int = DEFAULT_BATCH_MAX,
 ) -> ShardedBenchResult:
     """Measure aggregate live install throughput at one shard count.
 
@@ -468,7 +496,7 @@ def run_sharded_bench(
         process = context.Process(
             target=_bench_worker_main,
             args=(child_conn, config, algorithm, kwargs, index, shards,
-                  seconds, ramp),
+                  seconds, ramp, batch_max),
             daemon=True,
         )
         process.start()

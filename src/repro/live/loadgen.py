@@ -26,6 +26,7 @@ from typing import Iterable
 from repro.config import UpdatePattern
 from repro.db.objects import Update
 from repro.live.runtime import LiveRuntime, TransactionHandle
+from repro.live.wire import DEFAULT_BATCH_MAX
 from repro.sim.events import Event
 from repro.sim.streams import StreamFamily
 from repro.workload.transactions import TransactionGenerator, TransactionSpec
@@ -40,6 +41,11 @@ class LoadGenerator:
         seed: Root seed for the draw streams; defaults to the runtime
             config's seed, giving draw-sequence parity with a simulator
             run of the same config.
+        batch_max: Cap on how many due arrivals one catch-up delivers as
+            a single :meth:`LiveRuntime.ingest_batch` call (``1`` =
+            per-record delivery).  Pacing is unaffected: batching changes
+            how overdue arrivals are *handed over*, never when they are
+            planned.
 
     Attributes:
         updates_sent / updates_dropped: Ingest attempts and OS-queue drops.
@@ -47,8 +53,15 @@ class LoadGenerator:
         handles: One :class:`TransactionHandle` per submitted transaction.
     """
 
-    def __init__(self, runtime: LiveRuntime, *, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        runtime: LiveRuntime,
+        *,
+        seed: int | None = None,
+        batch_max: int = DEFAULT_BATCH_MAX,
+    ) -> None:
         self.runtime = runtime
+        self.batch_max = max(1, batch_max)
         self.clock = runtime.clock
         config = runtime.config
         if config.updates.pattern is not UpdatePattern.APERIODIC:
@@ -117,17 +130,25 @@ class LoadGenerator:
         if not self._running:
             return
         clock = self.clock
+        batch: list[Update] = []
+        batch_max = self.batch_max
         while True:
-            update = self._update_gen.draw_update(clock.now)
-            self.updates_sent += 1
-            if not self.runtime.ingest(update):
-                self.updates_dropped += 1
+            batch.append(self._update_gen.draw_update(clock.now))
             self._next_update_at += self._update_gen.next_interarrival()
+            if len(batch) >= batch_max:
+                self._deliver(batch)
+                batch = []
             if self._next_update_at > clock.now or not self._running:
                 break
+        if batch:
+            self._deliver(batch)
         self._update_event = self.clock.schedule_at(
             self._next_update_at, self._fire_update
         )
+
+    def _deliver(self, batch: "list[Update]") -> None:
+        self.updates_sent += len(batch)
+        self.updates_dropped += len(batch) - self.runtime.ingest_batch(batch)
 
     def _schedule_transaction(self) -> None:
         self._next_txn_at = self.clock.now + self._txn_gen.next_interarrival()

@@ -16,6 +16,16 @@ The wire format is exactly the trace JSONL format
 Malformed lines get an ``{"kind": "error", ...}`` reply and the connection
 stays up; a client that disconnects mid-flight simply stops receiving
 outcomes (the transactions it submitted still run to completion).
+
+The server reads and writes in *batches* (see :mod:`repro.live.wire`):
+every complete line buffered on the socket is decoded with one batched
+``json.loads`` per wakeup, consecutive updates are delivered through
+:meth:`LiveRuntime.ingest_batch`, and replies coalesce through a
+:class:`~repro.live.wire.CoalescingWriter`.  A batch is just N
+newline-delimited records in one write, so per-record clients interoperate
+unchanged in both directions.  All records in one coalesced batch share a
+single delivery instant (``clock.now`` sampled once per batch) — the
+batch *is* the arrival burst.
 """
 
 from __future__ import annotations
@@ -25,7 +35,13 @@ import json
 from dataclasses import asdict, replace
 
 from repro.live.runtime import LiveRuntime, TransactionHandle
-from repro.workload.trace import item_from_dict
+from repro.live.wire import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_FLUSH_US,
+    CoalescingWriter,
+    iter_line_batches,
+)
+from repro.workload.codec import decode_lines, item_from_record
 from repro.db.objects import Update
 
 
@@ -37,14 +53,26 @@ class IngestServer:
         host: Bind address.
         port: Bind port; 0 picks a free one (read it from ``self.port``
             after :meth:`start`).
+        batch_max: Records per coalesced reply write (``1`` = per-record
+            replies, the pre-batching wire behavior).
+        flush_us: Reply flush deadline in microseconds for partially
+            filled batches.
     """
 
     def __init__(
-        self, runtime: LiveRuntime, host: str = "127.0.0.1", port: int = 0
+        self,
+        runtime: LiveRuntime,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
     ) -> None:
         self.runtime = runtime
         self.host = host
         self.port = port
+        self.batch_max = batch_max
+        self.flush_us = flush_us
         self.connections = 0
         self.records_received = 0
         self.errors = 0
@@ -77,74 +105,89 @@ class IngestServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections += 1
+        replies = CoalescingWriter(
+            writer, batch_max=self.batch_max, flush_us=self.flush_us
+        )
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                await self._dispatch_line(line, writer)
+            async for lines in iter_line_batches(reader):
+                self._dispatch_batch(lines, replies)
+                # One backpressure point per read batch: ingestion never
+                # outruns a reply reader that has stopped consuming.
+                await replies.backpressure()
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await replies.aclose()
 
-    async def _dispatch_line(self, line: bytes, writer: asyncio.StreamWriter) -> None:
-        try:
-            record = json.loads(line)
-            kind = record.get("kind")
-            if kind == "snapshot":
-                record = {"kind": "snapshot"}
-                record.update(asdict(self.runtime.snapshot()))
-                await self._reply(writer, record)
-                return
-            item = item_from_dict(record)
-        except (ValueError, KeyError, TypeError) as exc:
-            self.errors += 1
-            await self._reply(writer, {"kind": "error", "message": str(exc)})
-            return
-        self.records_received += 1
-        # Live arrivals are stamped at delivery time: the wire record's
-        # arrival_time is in the *sender's* clock domain, and deadlines /
-        # staleness are measured against this runtime's clock.
-        now = self.runtime.clock.now
-        if isinstance(item, Update):
-            delta = now - item.arrival_time
-            if delta > 0:  # shift, preserving the update's drawn network age
-                item.arrival_time = now
-                item.generation_time += delta
-            self.runtime.ingest(item)
-        else:
-            handle = self.runtime.submit(replace(item, arrival_time=now))
-            task = asyncio.ensure_future(self._write_outcome(handle, writer))
-            self._outcome_tasks.add(task)
-            task.add_done_callback(self._outcome_tasks.discard)
+    def _dispatch_batch(self, lines: "list[bytes]", replies: CoalescingWriter) -> None:
+        """Decode one wire batch and deliver it in order.
+
+        Consecutive updates within the batch collapse into one
+        :meth:`LiveRuntime.ingest_batch` call; a transaction or snapshot
+        record flushes the pending updates first, so every record observes
+        exactly the runtime state the wire order implies.
+        """
+        records = decode_lines(lines)
+        runtime = self.runtime
+        # The whole batch arrived in one socket read: it shares one
+        # delivery instant, exactly like a burst in the paper's stream.
+        now = runtime.clock.now
+        updates: list[Update] = []
+        for record in records:
+            try:
+                if isinstance(record, Exception):
+                    raise record
+                kind = record.get("kind") if isinstance(record, dict) else None
+                if kind == "snapshot":
+                    if updates:
+                        runtime.ingest_batch(updates)
+                        updates.clear()
+                    reply = {"kind": "snapshot"}
+                    reply.update(asdict(runtime.snapshot()))
+                    self._reply(replies, reply)
+                    continue
+                item = item_from_record(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                self.errors += 1
+                self._reply(replies, {"kind": "error", "message": str(exc)})
+                continue
+            self.records_received += 1
+            if isinstance(item, Update):
+                # Live arrivals are stamped at delivery time: the wire
+                # record's arrival_time is in the *sender's* clock domain,
+                # and deadlines / staleness are measured against this
+                # runtime's clock.
+                delta = now - item.arrival_time
+                if delta > 0:  # shift, preserving the drawn network age
+                    item.arrival_time = now
+                    item.generation_time += delta
+                updates.append(item)
+            else:
+                if updates:
+                    runtime.ingest_batch(updates)
+                    updates.clear()
+                handle = runtime.submit(replace(item, arrival_time=now))
+                task = asyncio.ensure_future(self._write_outcome(handle, replies))
+                self._outcome_tasks.add(task)
+                task.add_done_callback(self._outcome_tasks.discard)
+        if updates:
+            runtime.ingest_batch(updates)
 
     async def _write_outcome(
-        self, handle: TransactionHandle, writer: asyncio.StreamWriter
+        self, handle: TransactionHandle, replies: CoalescingWriter
     ) -> None:
         outcome = await handle.wait()
-        try:
-            await self._reply(
-                writer,
-                {
-                    "kind": "outcome",
-                    "seq": handle.spec.seq,
-                    "outcome": outcome,
-                    "read_stale": handle.read_stale,
-                    "finish_time": handle.finish_time,
-                },
-            )
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        self._reply(
+            replies,
+            {
+                "kind": "outcome",
+                "seq": handle.spec.seq,
+                "outcome": outcome,
+                "read_stale": handle.read_stale,
+                "finish_time": handle.finish_time,
+            },
+        )
 
     @staticmethod
-    async def _reply(writer: asyncio.StreamWriter, record: dict) -> None:
-        writer.write(json.dumps(record).encode("utf-8") + b"\n")
-        await writer.drain()
+    def _reply(replies: CoalescingWriter, record: dict) -> None:
+        replies.write(json.dumps(record).encode("utf-8") + b"\n")

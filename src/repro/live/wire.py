@@ -1,0 +1,190 @@
+"""Coalesced JSONL wire I/O for the live stack.
+
+The PR-2/PR-3 ingest path paid one transport ``write`` (a syscall on a
+selector transport with an empty buffer) and one awaited ``drain()`` per
+record, at every hop: server replies, router forwarding, outcome
+pump-back.  Under the paper's bursty update streams that is the dominant
+cost — not the scheduler.  This module concentrates the fix:
+
+* :class:`CoalescingWriter` buffers encoded lines and hands the
+  transport one contiguous payload per *batch*, flushed when the buffer
+  reaches a record/byte bound or when a flush deadline expires (so a
+  lone record is never parked longer than ``flush_us``).  ``drain()`` is
+  awaited only when the transport reports a write buffer over its
+  high-water mark — the only case where it would actually wait.
+* :func:`iter_line_batches` is the read-side dual: instead of one
+  ``readline`` round trip per record, each socket wakeup yields *every*
+  complete line already buffered, ready for one batched decode.
+
+The wire format itself is unchanged: a batch is exactly N
+newline-delimited JSON records in one write, so an old per-record peer
+interoperates with a coalescing one in either direction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+#: Records buffered before a size-triggered flush.  Chosen by the sweep in
+#: docs/PERFORMANCE.md ("The wire fast path"): throughput is flat past
+#: ~128 and latency grows linearly, so 256 keeps headroom without hurting
+#: tail latency.
+DEFAULT_BATCH_MAX = 256
+
+#: Flush deadline in microseconds: the longest a buffered record waits
+#: for company before going out anyway.  Well under the paper's
+#: millisecond-scale deadlines, well over the cost of an event-loop turn.
+DEFAULT_FLUSH_US = 500.0
+
+#: Byte bound per coalesced payload; keeps one flush comfortably inside
+#: the transport's default 64 KiB high-water mark.
+MAX_BATCH_BYTES = 48 * 1024
+
+#: Read-side chunk size: large enough to swallow a full burst per wakeup.
+READ_CHUNK = 256 * 1024
+
+
+class CoalescingWriter:
+    """Batching front end for one :class:`asyncio.StreamWriter`.
+
+    ``write`` is synchronous and safe to call from plain callbacks (e.g.
+    transaction-outcome hooks); flushing happens on the record/byte
+    bounds, on the ``flush_us`` deadline timer, or explicitly.  All
+    buffered lines reach the transport in ``write`` order.
+
+    Args:
+        writer: The stream to feed.
+        batch_max: Records per coalesced payload (``<= 1`` flushes every
+            write — the per-record wire path, kept for benchmarks and
+            old-client emulation).
+        flush_us: Flush deadline in microseconds for partially filled
+            buffers; ``0`` also degrades to flush-per-write.
+
+    Attributes:
+        records: Lines accepted so far.
+        flushes: Coalesced payloads handed to the transport.
+    """
+
+    __slots__ = ("_writer", "_transport", "_batch_max", "_flush_s",
+                 "_buffer", "_bytes", "_pending", "_timer",
+                 "records", "flushes")
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
+    ) -> None:
+        self._writer = writer
+        self._transport = writer.transport
+        self._batch_max = max(1, batch_max)
+        self._flush_s = max(0.0, flush_us) * 1e-6
+        self._buffer: list[bytes] = []
+        self._bytes = 0
+        self._pending = 0
+        self._timer: asyncio.TimerHandle | None = None
+        self.records = 0
+        self.flushes = 0
+
+    def write(self, line: bytes) -> None:
+        """Buffer one newline-terminated line; flush on a full batch."""
+        self._push(line, 1)
+
+    def write_batch(self, payload: bytes, records: int) -> None:
+        """Buffer a pre-coalesced payload of ``records`` complete lines.
+
+        Used where a whole batch is encoded in one go (e.g. the router's
+        per-shard forwarding): the payload still counts ``records`` lines
+        toward the batch bound, so latency behavior matches ``records``
+        individual :meth:`write` calls.
+        """
+        self._push(payload, records)
+
+    def _push(self, payload: bytes, records: int) -> None:
+        self.records += records
+        self._pending += records
+        self._buffer.append(payload)
+        self._bytes += len(payload)
+        if (
+            self._pending >= self._batch_max
+            or self._bytes >= MAX_BATCH_BYTES
+            or self._flush_s == 0.0
+        ):
+            self.flush()
+        elif self._timer is None:
+            self._timer = asyncio.get_running_loop().call_later(
+                self._flush_s, self.flush
+            )
+
+    def flush(self) -> None:
+        """Hand everything buffered to the transport as one payload."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        buffer = self._buffer
+        if not buffer:
+            return
+        payload = buffer[0] if len(buffer) == 1 else b"".join(buffer)
+        buffer.clear()
+        self._bytes = 0
+        self._pending = 0
+        if self._transport.is_closing():
+            return  # peer went away; drop the replies like the old path
+        self.flushes += 1
+        self._writer.write(payload)
+
+    async def backpressure(self) -> None:
+        """Suspend until the transport is back under its high-water mark.
+
+        Does **not** force a flush — partially filled buffers keep their
+        deadline — so callers can apply backpressure per batch without
+        giving up coalescing.  A no-op in the common (unpaused) case.
+        """
+        transport = self._transport
+        if (
+            transport.get_write_buffer_size()
+            > transport.get_write_buffer_limits()[1]
+        ):
+            await self._writer.drain()
+
+    async def drain(self) -> None:
+        """Flush, then apply backpressure."""
+        self.flush()
+        await self.backpressure()
+
+    async def aclose(self) -> None:
+        """Flush what's pending and close the underlying stream."""
+        self.flush()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def iter_line_batches(reader: asyncio.StreamReader, *, chunk_size: int = READ_CHUNK):
+    """Yield every complete line available per socket wakeup.
+
+    Each yielded batch is a list of stripped, non-empty line payloads (no
+    trailing newline), in wire order.  Where ``readline`` wakes the
+    consumer once per record, this wakes it once per *burst*: whatever
+    the kernel buffered since the last read comes back as one batch for
+    one batched decode.  A trailing unterminated line at EOF is yielded
+    on its own, matching ``readline``'s end-of-stream behavior.
+    """
+    pending = b""
+    while True:
+        chunk = await reader.read(chunk_size)
+        if not chunk:
+            tail = pending.strip()
+            if tail:
+                yield [tail]
+            return
+        pending += chunk
+        if b"\n" not in chunk:
+            continue
+        *lines, pending = pending.split(b"\n")
+        batch = [stripped for line in lines if (stripped := line.strip())]
+        if batch:
+            yield batch

@@ -24,6 +24,7 @@ from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
 from repro.db.objects import ObjectClass, Update
 from repro.sim.engine import Engine
+from repro.workload.codec import decode_lines, encode_item, item_from_record
 from repro.workload.transactions import TransactionSpec
 
 T = TypeVar("T")
@@ -167,7 +168,10 @@ def save_trace(path, items: Iterable) -> int:
     """Write updates and/or transaction specs to ``path`` as JSONL.
 
     Lines are buffered and flushed through ``writelines`` in chunks of
-    :data:`_SAVE_CHUNK` instead of one ``write`` call per record.
+    :data:`_SAVE_CHUNK` instead of one ``write`` call per record, and
+    each line comes from the specialized
+    :func:`repro.workload.codec.encode_item` (byte-identical to the
+    generic ``json.dumps(item_to_dict(item))``).
 
     Returns:
         The number of items written.
@@ -176,7 +180,7 @@ def save_trace(path, items: Iterable) -> int:
     chunk: list[str] = []
     with Path(path).open("w", encoding="utf-8") as handle:
         for item in items:
-            chunk.append(json.dumps(item_to_dict(item)) + "\n")
+            chunk.append(encode_item(item) + "\n")
             count += 1
             if len(chunk) >= _SAVE_CHUNK:
                 handle.writelines(chunk)
@@ -190,15 +194,17 @@ def load_trace(path) -> "list[Update | TransactionSpec]":
     """Read a JSONL trace back; items come out in file order.
 
     Each call builds fresh objects, so one file can seed several runs
-    without sharing mutable :class:`Update` state between them.
+    without sharing mutable :class:`Update` state between them.  The
+    whole file is decoded with one batched
+    :func:`repro.workload.codec.decode_lines` call.
     """
+    with Path(path).open("rb") as handle:
+        lines = [line for line in handle.read().split(b"\n") if line.strip()]
     items = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            items.append(item_from_dict(json.loads(line)))
+    for record in decode_lines(lines):
+        if isinstance(record, Exception):
+            raise record
+        items.append(item_from_record(record))
     return items
 
 

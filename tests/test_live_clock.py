@@ -10,10 +10,18 @@ def test_wallclock_satisfies_clock_protocol():
     assert isinstance(WallClock(), Clock)
 
 
-def test_run_end_is_always_none():
-    # run_end None disables the controller's install-burst coalescing,
-    # which needs a known dispatch horizon the wall clock cannot have.
-    assert WallClock().run_end is None
+def test_run_end_is_a_rolling_burst_horizon():
+    # run_end bounds the controller's install-burst coalescing; on the
+    # wall clock it is a short rolling window ahead of now.
+    times = iter([10.0] + [10.0] * 2 + [11.0] * 2)
+    clock = WallClock(lambda: next(times))  # origin consumes 10.0
+    assert clock.run_end == clock.now + 0.002
+    assert clock.run_end == 1.0 + 0.002  # rolls forward with now
+
+
+def test_zero_burst_horizon_disables_coalescing():
+    assert WallClock(burst_horizon=0.0).run_end is None
+    assert WallClock(burst_horizon=-1.0).run_end is None
 
 
 def test_now_starts_at_zero_and_is_monotone_under_source_jitter():

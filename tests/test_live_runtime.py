@@ -8,6 +8,7 @@ through either front end.
 """
 
 import asyncio
+import math
 from dataclasses import asdict
 
 import pytest
@@ -15,9 +16,10 @@ import pytest
 from repro.config import baseline_config
 from repro.core.simulator import Simulation
 from repro.db.objects import ObjectClass
-from repro.live import LiveRuntime, LoadGenerator
+from repro.live import IngestServer, LiveRuntime, LoadGenerator
 from repro.sim.engine import Engine
 from repro.sim.streams import StreamFamily
+from repro.workload.codec import encode_lines
 from repro.workload.trace import (
     load_trace,
     save_trace,
@@ -310,3 +312,98 @@ def test_install_latency_tracker_sees_queueing_delay():
     p99 = runtime.latency.percentile(0.99)
     assert p50 is not None and p99 is not None
     assert 0 <= p50 <= p99 <= runtime.latency.worst
+
+
+# ----------------------------------------------------------------------
+# Batched ingest parity (the wire fast path must not change the model)
+# ----------------------------------------------------------------------
+def _burst_schedule(config, step=0.02):
+    """The drawn workload with update arrivals quantized *up* onto a
+    coarse grid, so several updates share one delivery instant — the
+    shape a coalesced wire batch produces."""
+    updates, specs = split_trace(_draw_workload(config))
+    for update in updates:
+        update.arrival_time = math.ceil(update.arrival_time / step) * step
+    bursts: dict[float, list] = {}
+    for update in updates:
+        bursts.setdefault(update.arrival_time, []).append(update)
+    return bursts, specs
+
+
+@pytest.mark.parametrize("algorithm", ["UF", "TF", "SU", "OD", "FX", "TF-SPLIT"])
+def test_ingest_batch_parity_with_per_record(algorithm):
+    """Burst delivery via ingest_batch == one ingest() call per record.
+
+    Every record must still hit the controller's per-arrival scheduling
+    point: OSmax drops, dispatch-if-idle, and queue accounting may not be
+    deferred to a batch boundary.
+    """
+    config = _config(arrival_rate=300.0)
+
+    def run(batched):
+        engine = Engine()
+        runtime = LiveRuntime(config, algorithm, clock=engine)
+        bursts, specs = _burst_schedule(config)
+        multi = sum(1 for burst in bursts.values() if len(burst) > 1)
+        assert multi > 20  # the comparison must exercise real bursts
+        for at, burst in bursts.items():
+            if batched:
+                engine.schedule_at(at, runtime.ingest_batch, burst)
+            else:
+                for update in burst:
+                    engine.schedule_at(at, runtime.ingest, update)
+        for spec in specs:
+            engine.schedule_at(spec.arrival_time, runtime.submit, spec)
+        engine.run_until(config.duration)
+        result = asdict(runtime.finalize())
+        # The clock-event count is the delivery *mechanism*, not the
+        # model: batching exists exactly to collapse N wakeups into one.
+        result.pop("events_dispatched")
+        return result
+
+    per_record = run(batched=False)
+    batch = run(batched=True)
+    assert batch == per_record
+    assert batch["updates_applied"] > 0
+
+
+@pytest.mark.parametrize("algorithm", ["UF", "TF", "SU", "OD", "FX", "TF-SPLIT"])
+def test_wire_batch_parity_with_per_record(algorithm):
+    """One coalesced N-line client write == N per-record writes + drains.
+
+    Runs the real IngestServer over a real socket with a frozen engine
+    clock, so both framings see one delivery instant and the results must
+    be asdict-identical — proving the batched wire path changes syscall
+    granularity, not outcomes.
+    """
+    config = _config(arrival_rate=300.0)
+    items = _draw_workload(config)
+    payload = encode_lines(items)
+
+    async def scenario(chunked):
+        engine = Engine()
+        engine.run_until(1.0)  # a fixed, shared delivery instant
+        runtime = LiveRuntime(config, algorithm, clock=engine)
+        server = IngestServer(runtime)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        if chunked:
+            writer.write(payload)
+            await writer.drain()
+        else:
+            for line in payload.split(b"\n"):
+                if line:
+                    writer.write(line + b"\n")
+                    await writer.drain()
+        while server.records_received < len(items):
+            await asyncio.sleep(0.001)
+        writer.close()
+        await server.stop()
+        engine.run_until(60.0)  # let every queued transaction finish
+        return asdict(runtime.finalize())
+
+    per_record = asyncio.run(scenario(chunked=False))
+    batch = asyncio.run(scenario(chunked=True))
+    assert batch == per_record
+    assert batch["updates_applied"] > 0
+    assert batch["transactions_committed"] > 0

@@ -253,3 +253,103 @@ def test_multi_shard_build_requires_algorithm_name():
     # The single-shard path still accepts an instance, as before.
     shard_set = build_shard_set(config, algorithm, engine, shards=1)
     assert len(shard_set) == 1
+
+
+# ----------------------------------------------------------------------
+# Batched routing parity (route_batch must not change the model)
+# ----------------------------------------------------------------------
+def _drawn_schedule(config, step=0.02):
+    """Draw the workload up front and quantize arrivals *up* onto a grid,
+    so several records share one delivery instant — the shape a coalesced
+    wire batch produces at the router."""
+    import math
+
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    bursts: dict[float, list] = {}
+    t = update_gen.next_interarrival()
+    while t < config.duration:
+        at = math.ceil(t / step) * step
+        bursts.setdefault(at, []).append(update_gen.draw_update(at))
+        t += update_gen.next_interarrival()
+    t = txn_gen.next_interarrival()
+    while t < config.duration:
+        at = math.ceil(t / step) * step
+        bursts.setdefault(at, []).append(txn_gen.draw_spec(at))
+        t += txn_gen.next_interarrival()
+    return bursts
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_route_batch_parity_with_per_record(algorithm, shards):
+    """Batched routing == per-record routing, for every algorithm, at one
+    shard and two: identical results *and* identical routing accounting."""
+    config = small_config()
+
+    def run(batched):
+        engine = Engine()
+        shard_set = build_shard_set(config, algorithm, engine, shards=shards)
+        shard_set.start_ledgers()
+        for at, burst in _drawn_schedule(config).items():
+            if batched:
+                engine.schedule_at(at, shard_set.route_batch, burst)
+            else:
+                for item in burst:
+                    if isinstance(item, Update):
+                        engine.schedule_at(at, shard_set.route_update, item)
+                    else:
+                        engine.schedule_at(at, shard_set.route_spec, item)
+        engine.run_until(config.duration)
+        shard_set.finalize(config.duration)
+        result = asdict(shard_set.collect(config.duration))
+        # The clock-event count is the delivery mechanism, not the model.
+        result.pop("events_dispatched")
+        return result
+
+    per_record = run(batched=False)
+    batch = run(batched=True)
+    assert batch == per_record
+    assert batch["updates_applied"] > 0
+
+
+def test_route_batch_groups_by_shard_and_amortizes_accounting():
+    router = ShardRouter(30, 30, 3)
+    from repro.core.sharding import route_batch
+
+    updates = [
+        Update(seq=i, klass=ObjectClass.VIEW_LOW, object_id=i, value=1.0,
+               generation_time=0.0, arrival_time=0.1)
+        for i in range(30)
+    ]
+    by_shard = route_batch(router, updates)
+    assert sorted(by_shard) == [0, 1, 2]
+    # Every record landed on its owner, in batch order, localized.
+    total = 0
+    for shard, routed in by_shard.items():
+        seqs = [u.seq for u in routed]
+        assert seqs == sorted(seqs)
+        for u in routed:
+            assert router.shard_of(ObjectClass.VIEW_LOW, u.seq) == shard
+            assert u.object_id == router.local_id(ObjectClass.VIEW_LOW, u.seq)
+        total += len(routed)
+    assert total == 30
+    assert router.updates_routed == [len(by_shard.get(s, [])) for s in range(3)]
+
+
+def test_route_batch_skips_unroutable_records_without_poisoning_neighbors():
+    router = ShardRouter(8, 8, 2)
+    from repro.core.sharding import route_batch
+
+    good = Update(seq=0, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
+                  generation_time=0.0, arrival_time=0.1)
+    bad = Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=999, value=1.0,
+                 generation_time=0.0, arrival_time=0.1)
+    errors = []
+    by_shard = route_batch(router, [good, bad, good],
+                           on_error=lambda item, exc: errors.append(item))
+    assert sum(len(routed) for routed in by_shard.values()) == 2
+    assert errors == [bad]
+    assert router.routing_errors == 1
+    assert sum(router.updates_routed) == 2

@@ -1,0 +1,307 @@
+"""Tests for the wire fast path: specialized codec + coalescing I/O.
+
+Two contracts matter:
+
+* The schema-specialized codec is *byte-identical* to the generic
+  ``json.dumps(item_to_dict(...))`` encoder — a batch on the wire is
+  indistinguishable from the same records written one at a time, so old
+  peers interoperate.
+* :class:`CoalescingWriter` / :func:`iter_line_batches` change syscall
+  granularity, never content or order.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass, Update
+from repro.live.wire import (
+    MAX_BATCH_BYTES,
+    CoalescingWriter,
+    iter_line_batches,
+)
+from repro.sim.streams import StreamFamily
+from repro.workload.codec import (
+    decode_lines,
+    encode_item,
+    encode_lines,
+    item_from_record,
+)
+from repro.workload.trace import item_to_dict
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+
+
+def _drawn_items(seed=424242, rate=300.0, duration=3.0):
+    config = baseline_config(duration=duration, seed=seed)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=rate)
+    config = config.with_transactions(arrival_rate=20.0)
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    items = []
+    t = update_gen.next_interarrival()
+    while t < config.duration:
+        items.append(update_gen.draw_update(t))
+        t += update_gen.next_interarrival()
+    t = txn_gen.next_interarrival()
+    while t < config.duration:
+        items.append(txn_gen.draw_spec(t))
+        t += txn_gen.next_interarrival()
+    return items
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def test_encoder_is_byte_identical_to_generic_json():
+    """The f-string encoder must match json.dumps exactly, float by float."""
+    items = _drawn_items()
+    assert len(items) > 500
+    for item in items:
+        assert encode_item(item) == json.dumps(item_to_dict(item))
+
+
+def test_encoder_covers_partial_updates():
+    update = Update(seq=3, klass=ObjectClass.VIEW_HIGH, object_id=7,
+                    value=1.5, generation_time=0.25, arrival_time=0.375,
+                    partial=True, attribute=2)
+    assert encode_item(update) == json.dumps(item_to_dict(update))
+
+
+def test_encoder_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_item({"kind": "update"})
+
+
+def test_batch_round_trip_rebuilds_identical_records():
+    items = _drawn_items()
+    payload = encode_lines(items)
+    lines = [line for line in payload.split(b"\n") if line]
+    rebuilt = [item_from_record(record) for record in decode_lines(lines)]
+    assert [item_to_dict(item) for item in rebuilt] == [
+        item_to_dict(item) for item in items
+    ]
+    # Types survive, not just dicts.
+    assert all(
+        type(a) is type(b) for a, b in zip(rebuilt, items)
+    )
+
+
+def test_decode_lines_isolates_a_malformed_line():
+    """A bad line comes back as its own error; neighbors still decode."""
+    lines = [b'{"kind": "update"}', b"not json", b'{"a": 1}']
+    records = decode_lines(lines)
+    assert records[0] == {"kind": "update"}
+    assert isinstance(records[1], ValueError)
+    assert records[2] == {"a": 1}
+
+
+def test_decode_lines_guards_against_fragment_miscounts():
+    """b"1, 2" is valid JSON *fragment* content inside an array wrapper;
+    the element-count guard must force the per-line fallback so the error
+    stays attributed to the right line."""
+    lines = [b'{"a": 1}', b"1, 2", b'{"b": 2}']
+    records = decode_lines(lines)
+    assert records[0] == {"a": 1}
+    assert isinstance(records[1], ValueError)
+    assert records[2] == {"b": 2}
+
+
+def test_item_from_record_rejects_non_objects_and_unknown_kinds():
+    with pytest.raises(ValueError):
+        item_from_record(5)
+    with pytest.raises(ValueError):
+        item_from_record({"kind": "mystery"})
+    with pytest.raises(ValueError):
+        item_from_record({})
+
+
+# ----------------------------------------------------------------------
+# CoalescingWriter
+# ----------------------------------------------------------------------
+class _FakeTransport:
+    def __init__(self):
+        self.buffer_size = 0
+        self.closing = False
+
+    def get_write_buffer_size(self):
+        return self.buffer_size
+
+    def get_write_buffer_limits(self):
+        return (16 * 1024, 64 * 1024)
+
+    def is_closing(self):
+        return self.closing
+
+
+class _FakeStreamWriter:
+    def __init__(self):
+        self.transport = _FakeTransport()
+        self.payloads: list[bytes] = []
+        self.drains = 0
+        self.closed = False
+
+    def write(self, payload: bytes) -> None:
+        self.payloads.append(payload)
+
+    async def drain(self) -> None:
+        self.drains += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+    async def wait_closed(self) -> None:
+        pass
+
+
+def test_coalescing_writer_flushes_on_batch_max():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=3, flush_us=1e6)
+        for i in range(7):
+            out.write(b"%d\n" % i)
+        return fake, out
+
+    fake, out = asyncio.run(scenario())
+    assert fake.payloads == [b"0\n1\n2\n", b"3\n4\n5\n"]  # 6th still buffered
+    assert out.records == 7
+    assert out.flushes == 2
+
+
+def test_coalescing_writer_flush_deadline_covers_stragglers():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=1000, flush_us=500.0)
+        out.write(b"lone\n")
+        assert fake.payloads == []  # parked, waiting for company
+        await asyncio.sleep(0.05)  # >> flush deadline
+        return fake
+
+    fake = asyncio.run(scenario())
+    assert fake.payloads == [b"lone\n"]
+
+
+def test_coalescing_writer_batch_max_one_is_per_record():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=1, flush_us=500.0)
+        out.write(b"a\n")
+        out.write(b"b\n")
+        return fake
+
+    fake = asyncio.run(scenario())
+    assert fake.payloads == [b"a\n", b"b\n"]
+
+
+def test_coalescing_writer_write_batch_counts_records():
+    """A pre-coalesced payload counts its records toward the batch bound."""
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=4, flush_us=1e6)
+        out.write_batch(b"a\nb\nc\n", 3)
+        assert fake.payloads == []  # 3 of 4: still under the bound
+        out.write(b"d\n")
+        return fake, out
+
+    fake, out = asyncio.run(scenario())
+    assert fake.payloads == [b"a\nb\nc\nd\n"]
+    assert out.records == 4
+
+
+def test_coalescing_writer_byte_bound_flushes_large_batches():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=10_000, flush_us=1e6)
+        line = b"x" * 4096 + b"\n"
+        for _ in range(MAX_BATCH_BYTES // len(line) + 1):
+            out.write(line)
+        return fake
+
+    fake = asyncio.run(scenario())
+    assert fake.payloads  # flushed by bytes, not by count or deadline
+
+
+def test_coalescing_writer_backpressure_only_over_high_water():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=4, flush_us=500.0)
+        await out.backpressure()
+        below = fake.drains
+        fake.transport.buffer_size = 1 << 20  # over the 64 KiB high water
+        await out.backpressure()
+        return below, fake.drains
+
+    below, above = asyncio.run(scenario())
+    assert below == 0
+    assert above == 1
+
+
+def test_coalescing_writer_aclose_flushes_then_closes():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=100, flush_us=1e6)
+        out.write(b"tail\n")
+        await out.aclose()
+        return fake
+
+    fake = asyncio.run(scenario())
+    assert fake.payloads == [b"tail\n"]
+    assert fake.closed
+
+
+def test_coalescing_writer_drops_writes_after_peer_close():
+    async def scenario():
+        fake = _FakeStreamWriter()
+        out = CoalescingWriter(fake, batch_max=1, flush_us=500.0)
+        fake.transport.closing = True
+        out.write(b"late\n")
+        return fake, out
+
+    fake, out = asyncio.run(scenario())
+    assert fake.payloads == []
+    assert out.flushes == 0
+
+
+# ----------------------------------------------------------------------
+# iter_line_batches
+# ----------------------------------------------------------------------
+def _reader_from_chunks(chunks):
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def test_iter_line_batches_yields_complete_lines_per_wakeup():
+    async def scenario():
+        reader = _reader_from_chunks([b"a\nb\nc\nd"])
+        return [batch async for batch in iter_line_batches(reader)]
+
+    batches = asyncio.run(scenario())
+    # All complete lines in one batch; the unterminated tail at EOF.
+    assert batches == [[b"a", b"b", b"c"], [b"d"]]
+    assert [line for batch in batches for line in batch] == [b"a", b"b", b"c", b"d"]
+
+
+def test_iter_line_batches_reassembles_split_lines():
+    async def scenario():
+        reader = _reader_from_chunks([b'{"seq": 1', b', "x": 2}\n{"seq": 2}\n'])
+        return [batch async for batch in iter_line_batches(reader, chunk_size=10)]
+
+    batches = asyncio.run(scenario())
+    flat = [line for batch in batches for line in batch]
+    assert flat == [b'{"seq": 1, "x": 2}', b'{"seq": 2}']
+
+
+def test_iter_line_batches_skips_blank_lines():
+    async def scenario():
+        reader = _reader_from_chunks([b"\n\na\n\r\nb\n\n"])
+        return [batch async for batch in iter_line_batches(reader)]
+
+    batches = asyncio.run(scenario())
+    assert [line for batch in batches for line in batch] == [b"a", b"b"]
