@@ -29,11 +29,17 @@ Run it: ``python -m repro.live serve|loadgen|bench`` (also installed as the
 """
 
 from repro.live.clock import WallClock
-from repro.live.cluster import ShardCluster, ShardedBenchResult, run_sharded_bench
-from repro.live.loadgen import LoadGenerator
+from repro.live.cluster import (
+    ShardCluster,
+    ShardDownError,
+    ShardedBenchResult,
+    run_sharded_bench,
+)
+from repro.live.loadgen import LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.server import IngestServer
+from repro.live.wire import connect_with_retry
 
 __all__ = [
     "IngestServer",
@@ -41,8 +47,11 @@ __all__ = [
     "LoadGenerator",
     "MetricsStreamer",
     "ShardCluster",
+    "ShardDownError",
     "ShardedBenchResult",
     "TransactionHandle",
     "WallClock",
+    "WireClient",
+    "connect_with_retry",
     "run_sharded_bench",
 ]

@@ -29,13 +29,16 @@ from repro.config import SimulationConfig, StalenessPolicy, baseline_config
 from repro.core.algorithms.registry import ALGORITHMS
 from repro.live.clock import WallClock
 from repro.live.cluster import ShardCluster, run_sharded_bench
-from repro.live.loadgen import LoadGenerator
+from repro.live.loadgen import LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
 from repro.live.server import IngestServer
-from repro.live.wire import DEFAULT_BATCH_MAX, DEFAULT_FLUSH_US, CoalescingWriter
+from repro.live.wire import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_CONNECT_ATTEMPTS,
+    DEFAULT_FLUSH_US,
+)
 from repro.sim.streams import StreamFamily
-from repro.workload.codec import encode_item
 from repro.workload.trace import load_trace
 from repro.workload.transactions import TransactionGenerator
 from repro.workload.updates import UpdateStreamGenerator
@@ -121,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
                        "a path, or 'none'")
     serve.add_argument("--metrics-interval", type=float, default=1.0)
     serve.add_argument("--drain-timeout", type=float, default=5.0)
+    serve.add_argument("--restart-limit", type=int, default=1,
+                       help="times the supervisor restarts a crashed shard "
+                       "worker before marking the shard down and shedding "
+                       "its records (sharded mode; default 1, 0 = never "
+                       "restart)")
+    serve.add_argument("--fail-shard", type=int, default=None, metavar="INDEX",
+                       help="fault injection: SIGKILL this shard worker "
+                       "after --fail-after seconds (sharded mode only)")
+    serve.add_argument("--fail-after", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="delay before --fail-shard fires (default 1)")
 
     loadgen = sub.add_parser("loadgen",
                              help="stream traffic at a running server")
@@ -131,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seconds", type=float, default=10.0)
     loadgen.add_argument("--trace", default=None,
                          help="replay this JSONL trace instead of synthesizing")
+    loadgen.add_argument("--connect-attempts", type=int,
+                         default=DEFAULT_CONNECT_ATTEMPTS,
+                         help="connection attempts per (re)connect, with "
+                         "exponential backoff — a restarting server is "
+                         f"re-reached transparently (default "
+                         f"{DEFAULT_CONNECT_ATTEMPTS})")
 
     bench = sub.add_parser("bench",
                            help="in-process throughput/latency benchmark")
@@ -215,11 +235,25 @@ async def _serve_sharded(args) -> int:
         config, args.algorithm, shards=args.shards,
         host=args.host, port=args.port,
         batch_max=args.batch_max, flush_us=args.flush_us,
+        restart_limit=args.restart_limit,
     )
     host, port = await cluster.start()
     print(f"repro-live: {args.algorithm} serving on {host}:{port} across "
           f"{args.shards} shard workers (ports {cluster.ports}; "
           f"SIGINT drains and exits)", file=sys.stderr, flush=True)
+
+    if args.fail_shard is not None:
+        if not 0 <= args.fail_shard < args.shards:
+            raise SystemExit(
+                f"--fail-shard {args.fail_shard} out of range for "
+                f"{args.shards} shards"
+            )
+        print(f"repro-live: fault injection armed — SIGKILL shard "
+              f"{args.fail_shard} after {args.fail_after:.1f}s",
+              file=sys.stderr, flush=True)
+        asyncio.get_running_loop().call_later(
+            args.fail_after, cluster.kill_worker, args.fail_shard
+        )
 
     streamer = None
     if args.metrics != "none":
@@ -243,32 +277,43 @@ async def _serve_sharded(args) -> int:
 # ----------------------------------------------------------------------
 # loadgen (TCP client)
 # ----------------------------------------------------------------------
-async def _read_outcomes(reader: asyncio.StreamReader, counts: dict) -> None:
-    while True:
-        line = await reader.readline()
-        if not line:
-            return
+async def _loadgen(args) -> int:
+    """Stream records at a server through a reconnecting wire client.
+
+    Connection loss mid-stream (a restarting shard worker, a bounced
+    server) is absorbed by :class:`~repro.live.loadgen.WireClient`:
+    the next record reconnects with backoff and the stream resumes —
+    records in the gap are lost like any other shed update, and the
+    tally reports how many reconnects happened.
+    """
+    counts: dict[str, int] = {}
+
+    def on_line(line: bytes) -> None:
         try:
             record = json.loads(line)
         except ValueError:
-            continue
+            return
         if record.get("kind") == "outcome":
             key = record.get("outcome", "?")
             counts[key] = counts.get(key, 0) + 1
+        elif record.get("kind") == "error" and record.get("reason") == "shard_down":
+            counts["shed_shard_down"] = counts.get("shed_shard_down", 0) + 1
 
-
-async def _loadgen(args) -> int:
-    reader, writer = await asyncio.open_connection(args.host, args.port)
-    out = CoalescingWriter(writer, batch_max=args.batch_max,
-                           flush_us=args.flush_us)
-    counts: dict[str, int] = {}
-    outcome_task = asyncio.ensure_future(_read_outcomes(reader, counts))
+    client = WireClient(
+        args.host, args.port, batch_max=args.batch_max,
+        flush_us=args.flush_us, attempts=args.connect_attempts,
+        on_line=on_line,
+    )
+    await client.connect()
     sent = 0
     start = time.monotonic()
 
-    def write_item(item) -> None:
+    async def write_item(item) -> None:
         nonlocal sent
-        out.write(encode_item(item).encode() + b"\n")
+        try:
+            await client.send(item)
+        except ConnectionError:
+            return  # retry budget exhausted mid-stream; drop like a shed
         sent += 1
 
     if args.trace is not None:
@@ -277,8 +322,8 @@ async def _loadgen(args) -> int:
             delay = item.arrival_time - (time.monotonic() - start)
             if delay > 0:
                 await asyncio.sleep(delay)
-            write_item(item)
-            await out.backpressure()
+            await write_item(item)
+            await client.backpressure()
     else:
         config = _build_config(args)
         streams = StreamFamily(config.seed)
@@ -293,29 +338,27 @@ async def _loadgen(args) -> int:
                 break
             upcoming = min(next_update, next_txn)
             if upcoming > now:
-                out.flush()  # nothing due: don't park what's buffered
+                client.flush()  # nothing due: don't park what's buffered
                 await asyncio.sleep(min(upcoming - now, args.seconds - now))
                 continue
             if next_update <= next_txn:
-                write_item(update_gen.draw_update(next_update))
+                await write_item(update_gen.draw_update(next_update))
                 next_update += update_gen.next_interarrival()
             else:
-                write_item(txn_gen.draw_spec(next_txn))
+                await write_item(txn_gen.draw_spec(next_txn))
                 next_txn += txn_gen.next_interarrival()
-            await out.backpressure()
+            await client.backpressure()
 
-    await out.drain()
+    with contextlib.suppress(ConnectionError):
+        await client.drain()
     # Give in-flight transaction outcomes a moment to come back.
     await asyncio.sleep(0.25)
-    outcome_task.cancel()
-    with contextlib.suppress(asyncio.CancelledError):
-        await outcome_task
-    writer.close()
-    with contextlib.suppress(ConnectionResetError, BrokenPipeError):
-        await writer.wait_closed()
+    await client.aclose()
     elapsed = time.monotonic() - start
+    reconnects = (f"; reconnects: {client.reconnects}"
+                  if client.reconnects else "")
     print(f"repro-live loadgen: sent {sent} records in {elapsed:.2f}s "
-          f"({sent / elapsed:.0f}/s); outcomes: {counts or '{}'}")
+          f"({sent / elapsed:.0f}/s); outcomes: {counts or '{}'}{reconnects}")
     return 0
 
 

@@ -21,6 +21,19 @@ over a pipe (ready/stop/result), data flows over TCP.  Each worker
 rebuilds the (deterministic) :class:`~repro.db.sharding.ShardRouter` from
 the global config, so nothing stateful crosses the process boundary.
 
+The cluster is **fault tolerant** the same way the scheduler is overload
+tolerant: by shedding, accounting, and recovering.  A supervisor task
+polls every worker's process sentinel; when a worker dies it is either
+restarted (fresh :class:`LiveRuntime`, re-registered port, counted in
+``extras["worker_restarts"]``) or — once ``restart_limit`` is exhausted —
+marked **down**.  Records routed to a down shard are shed with a
+``{"kind": "error", "reason": "shard_down"}`` reply and counted per shard
+in ``extras["shed_shard_down"]``, mirroring the paper's drop accounting;
+the client session stays up.  ``snapshot()`` and ``shutdown()`` skip dead
+workers under bounded timeouts (join -> terminate -> kill escalation) and
+merge the survivors, noting the dead shards in ``extras``.  See
+``docs/RESILIENCE.md`` for the failure model.
+
 :func:`run_sharded_bench` reuses the same worker machinery to measure
 aggregate install throughput at a given shard count, driving each shard
 with an in-process :class:`~repro.live.loadgen.LoadGenerator` (no
@@ -31,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import multiprocessing
 import os
 import signal
@@ -46,17 +60,34 @@ from repro.live.wire import (
     DEFAULT_BATCH_MAX,
     DEFAULT_FLUSH_US,
     CoalescingWriter,
+    connect_with_retry,
     iter_line_batches,
 )
 from repro.metrics.results import SimulationResult
 from repro.metrics.storage import result_from_dict
 from repro.workload.codec import decode_lines, encode_lines, item_from_record
 
+logger = logging.getLogger(__name__)
+
 #: How long the parent waits for a worker to report its port or result.
 _WORKER_TIMEOUT = 60.0
 
 #: Pipe poll period inside async waits.
 _POLL_INTERVAL = 0.02
+
+#: Per-stage wait inside the join -> terminate -> kill escalation.
+_REAP_GRACE = 2.0
+
+
+class ShardDownError(ConnectionError):
+    """A shard worker is dead or unreachable.
+
+    Raised by :meth:`ShardCluster._shard_snapshot` when a worker
+    connection yields EOF, and by :meth:`ShardCluster.snapshot` /
+    :meth:`ShardCluster.shutdown` when *no* shard survives.  A single
+    down shard never raises: its records are shed and accounted while
+    the survivors keep serving.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -169,6 +200,62 @@ async def _pipe_recv(conn, process, timeout=_WORKER_TIMEOUT):
     return conn.recv()
 
 
+async def _reap(process, *, grace: float = _REAP_GRACE) -> None:
+    """Retire one worker process with bounded escalation.
+
+    Wait up to ``grace`` for a voluntary exit, then ``terminate()``, wait
+    again, then ``kill()`` — so a hung or signal-shielded worker can delay
+    shutdown by at most ``2 * grace`` instead of forever.  Always joins at
+    the end so the child is reaped (no zombies).
+    """
+    if process is None:
+        return
+    loop = asyncio.get_running_loop()
+    for escalate in (process.terminate, process.kill):
+        deadline = loop.time() + grace
+        while process.is_alive() and loop.time() < deadline:
+            await asyncio.sleep(_POLL_INTERVAL)
+        if not process.is_alive():
+            break
+        escalate()
+    process.join(timeout=1.0)
+
+
+@dataclass
+class WorkerState:
+    """Parent-side liveness record of one shard worker.
+
+    Attributes:
+        index: Shard index (stable across restarts).
+        process / conn: The current child process and its control pipe;
+            replaced wholesale on restart.
+        port: The worker's current loopback ingest port (re-registered
+            on restart — restarted workers bind a fresh port).
+        status: ``starting`` | ``up`` | ``restarting`` | ``down``.
+            Anything other than ``up`` sheds routed records.
+        restarts: Completed supervisor restarts of this shard.
+        shed_shard_down: Records shed because this shard was not up.
+    """
+
+    index: int
+    process: "multiprocessing.process.BaseProcess | None" = None
+    conn: object | None = None
+    port: int = 0
+    status: str = "starting"
+    restarts: int = 0
+    shed_shard_down: int = 0
+
+    def liveness(self) -> dict:
+        """This worker's row in ``extras["workers"]``."""
+        return {
+            "shard": self.index,
+            "status": self.status,
+            "restarts": self.restarts,
+            "shed_shard_down": self.shed_shard_down,
+            "port": self.port,
+        }
+
+
 # ----------------------------------------------------------------------
 # The cluster (parent side)
 # ----------------------------------------------------------------------
@@ -183,6 +270,19 @@ class ShardCluster:
         shards: Worker count (>= 2; use a plain server for one shard).
         host / port: Public bind address of the router socket.
         algorithm_kwargs: Constructor args for the algorithm.
+        restart_limit: Times the supervisor restarts one crashed shard
+            worker before marking the shard down for good (0 = never
+            restart, shed immediately).
+        supervise_interval: Supervisor sentinel-poll period in seconds.
+        snapshot_timeout: Bound on one shard's snapshot round trip; a
+            shard that cannot answer inside it is skipped (and its
+            records shed once the supervisor confirms the death).
+        connect_attempts: Per-connection retry budget for upstream and
+            snapshot connections (see
+            :func:`~repro.live.wire.connect_with_retry`).
+        shutdown_grace: Extra seconds past ``drain_timeout`` that
+            :meth:`shutdown` waits for each worker's final result before
+            declaring the shard dead and escalating.
     """
 
     def __init__(
@@ -196,11 +296,18 @@ class ShardCluster:
         algorithm_kwargs: dict | None = None,
         batch_max: int = DEFAULT_BATCH_MAX,
         flush_us: float = DEFAULT_FLUSH_US,
+        restart_limit: int = 1,
+        supervise_interval: float = 0.05,
+        snapshot_timeout: float = 10.0,
+        connect_attempts: int = 6,
+        shutdown_grace: float = 10.0,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardCluster needs >= 2 shards")
         if not isinstance(algorithm, str):
             raise ValueError("sharded serving needs an algorithm name")
+        if restart_limit < 0:
+            raise ValueError("restart_limit must be >= 0")
         config.validate()
         self.config = config
         self.algorithm = algorithm
@@ -210,55 +317,72 @@ class ShardCluster:
         self.port = port
         self.batch_max = batch_max
         self.flush_us = flush_us
+        self.restart_limit = restart_limit
+        self.supervise_interval = supervise_interval
+        self.snapshot_timeout = snapshot_timeout
+        self.connect_attempts = connect_attempts
+        self.shutdown_grace = shutdown_grace
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
-        self.ports: list[int] = []
         self.records_received = 0
         self.errors = 0
-        self._processes: list[multiprocessing.Process] = []
-        self._pipes = []
+        self._workers: list[WorkerState] = []
+        self._context = None
         self._server: asyncio.AbstractServer | None = None
+        self._supervisor: asyncio.Task | None = None
+        self._restart_tasks: set[asyncio.Task] = set()
         self._result: SimulationResult | None = None
+
+    @property
+    def ports(self) -> list[int]:
+        """Current loopback ingest port of every worker (0 = not up yet)."""
+        return [worker.port for worker in self._workers]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Spawn the workers, wait for their ports, bind the router."""
-        if self._processes:
+        if self._workers:
             raise RuntimeError("cluster is already running")
-        context = multiprocessing.get_context("spawn")
-        for index in range(self.shards):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_serve_worker_main,
-                args=(
-                    child_conn,
-                    self.config,
-                    self.algorithm,
-                    self.algorithm_kwargs,
-                    index,
-                    self.shards,
-                    self.batch_max,
-                    self.flush_us,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            self._pipes.append(parent_conn)
-        self.ports = []
-        for process, conn in zip(self._processes, self._pipes):
-            kind, port = await _pipe_recv(conn, process)
+        self._context = multiprocessing.get_context("spawn")
+        self._workers = [WorkerState(index) for index in range(self.shards)]
+        for worker in self._workers:
+            self._spawn(worker)
+        for worker in self._workers:
+            kind, port = await _pipe_recv(worker.conn, worker.process)
             if kind != "ready":  # pragma: no cover - defensive
                 raise RuntimeError(f"unexpected worker message: {kind}")
-            self.ports.append(port)
+            worker.port = port
+            worker.status = "up"
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        self._supervisor = asyncio.ensure_future(self._supervise())
         return self.host, self.port
+
+    def _spawn(self, worker: WorkerState) -> None:
+        """(Re)create one shard worker process and its control pipe."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_serve_worker_main,
+            args=(
+                child_conn,
+                self.config,
+                self.algorithm,
+                self.algorithm_kwargs,
+                worker.index,
+                self.shards,
+                self.batch_max,
+                self.flush_us,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
 
     async def stop_ingest(self) -> None:
         """Close the public socket; workers keep draining what they have."""
@@ -267,25 +391,165 @@ class ShardCluster:
             await self._server.wait_closed()
             self._server = None
 
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    async def _supervise(self) -> None:
+        """Watch every worker's process sentinel; restart or mark down."""
+        while True:
+            await asyncio.sleep(self.supervise_interval)
+            for worker in self._workers:
+                if worker.status == "up" and not worker.process.is_alive():
+                    self._on_worker_death(worker)
+
+    def _on_worker_death(self, worker: WorkerState) -> None:
+        exitcode = worker.process.exitcode
+        if worker.restarts < self.restart_limit:
+            worker.status = "restarting"
+            logger.warning(
+                "shard %d worker died (exitcode %s); restarting (%d/%d)",
+                worker.index, exitcode, worker.restarts + 1, self.restart_limit,
+            )
+            task = asyncio.ensure_future(self._restart_worker(worker))
+            self._restart_tasks.add(task)
+            task.add_done_callback(self._restart_tasks.discard)
+        else:
+            worker.status = "down"
+            logger.warning(
+                "shard %d worker died (exitcode %s); restart budget exhausted "
+                "— marking down, routed records will be shed",
+                worker.index, exitcode,
+            )
+
+    async def _restart_worker(self, worker: WorkerState) -> None:
+        """Replace a dead worker with a fresh runtime on a fresh port.
+
+        While this runs the shard stays non-``up``, so its records are
+        shed rather than queued against a process that may never come
+        back; on failure the shard is marked down for good.
+        """
+        try:
+            await _reap(worker.process)
+            if worker.conn is not None:
+                worker.conn.close()
+            self._spawn(worker)
+            kind, port = await _pipe_recv(worker.conn, worker.process)
+            if kind != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message: {kind}")
+            worker.port = port
+            worker.restarts += 1
+            worker.status = "up"
+            logger.info(
+                "shard %d worker restarted on port %d (restart %d)",
+                worker.index, port, worker.restarts,
+            )
+        except asyncio.CancelledError:
+            worker.status = "down"
+            raise
+        except (RuntimeError, TimeoutError, EOFError, OSError) as exc:
+            worker.status = "down"
+            logger.error(
+                "shard %d restart failed (%r); marking down", worker.index, exc
+            )
+
+    def kill_worker(self, index: int) -> None:
+        """Fault injection (tests, ``--fail-shard``): SIGKILL one worker.
+
+        The supervisor then observes the death exactly as it would a real
+        crash and restarts or sheds per ``restart_limit``.
+        """
+        worker = self._workers[index]
+        if worker.process is not None and worker.process.is_alive():
+            os.kill(worker.process.pid, signal.SIGKILL)
+
+    def worker_status(self, index: int) -> str:
+        """Current supervision status of one shard worker."""
+        return self._workers[index].status
+
+    def liveness(self) -> list[dict]:
+        """Per-worker liveness rows (as reported in ``extras``)."""
+        return [worker.liveness() for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # Drain and merge
+    # ------------------------------------------------------------------
     async def shutdown(self, drain_timeout: float = 5.0) -> SimulationResult:
-        """Stop ingest, drain every worker, and merge the final results."""
+        """Stop ingest, drain the surviving workers, merge their results.
+
+        Dead or unresponsive workers cannot hang the drain: each result
+        wait is bounded by ``drain_timeout + shutdown_grace``, every
+        worker process is retired through the join -> terminate -> kill
+        escalation, and the merged result notes the dead shards in
+        ``extras["down_shards"]``.
+
+        Raises:
+            ShardDownError: when *no* worker reported a final result.
+        """
         if self._result is not None:
             return self._result
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._restart_tasks:
+            await asyncio.gather(*self._restart_tasks, return_exceptions=True)
         await self.stop_ingest()
-        for conn in self._pipes:
-            conn.send(("stop", drain_timeout))
+        for worker in self._workers:
+            if worker.status == "down" or worker.conn is None:
+                continue
+            try:
+                worker.conn.send(("stop", drain_timeout))
+            except (BrokenPipeError, OSError):
+                worker.status = "down"
         per_shard: list[SimulationResult] = []
-        for process, conn in zip(self._processes, self._pipes):
-            kind, payload = await _pipe_recv(conn, process)
-            if kind != "result":  # pragma: no cover - defensive
-                raise RuntimeError(f"unexpected worker message: {kind}")
-            per_shard.append(result_from_dict(payload))
-            process.join(timeout=_WORKER_TIMEOUT)
-        self._result = self._merge(per_shard)
+        indices: list[int] = []
+        timeout = drain_timeout + self.shutdown_grace
+        for worker in self._workers:
+            if worker.status != "down":
+                try:
+                    payload = await self._recv_result(worker, timeout)
+                    per_shard.append(result_from_dict(payload))
+                    indices.append(worker.index)
+                except (RuntimeError, TimeoutError, EOFError, OSError) as exc:
+                    worker.status = "down"
+                    logger.warning(
+                        "shard %d reported no final result (%r); merging "
+                        "without it", worker.index, exc,
+                    )
+            await _reap(worker.process)
+        if not per_shard:
+            raise ShardDownError(
+                "every shard worker died without reporting a result"
+            )
+        self._result = self._merge(per_shard, indices)
         return self._result
 
-    def _merge(self, per_shard: list[SimulationResult]) -> SimulationResult:
-        weights = [self.router.counts(index) for index in range(self.shards)]
+    async def _recv_result(self, worker: WorkerState, timeout: float) -> dict:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            remaining = max(_POLL_INTERVAL, deadline - loop.time())
+            message = await _pipe_recv(worker.conn, worker.process, remaining)
+            if message[0] == "result":
+                return message[1]
+            # e.g. a worker restarted moments before shutdown replays its
+            # "ready" registration first; skip to the result.
+
+    def _merge(
+        self,
+        per_shard: list[SimulationResult],
+        indices: "list[int] | None" = None,
+    ) -> SimulationResult:
+        """Merge per-shard results (``indices`` names the shards present)."""
+        if indices is None:
+            indices = list(range(self.shards))
+        weights = [self.router.counts(index) for index in indices]
+        workers = self.liveness()
         return SimulationResult.merge(
             per_shard,
             weights_low=[low for low, _ in weights],
@@ -294,6 +558,13 @@ class ShardCluster:
                 **self.router.accounting(),
                 "records_received": self.records_received,
                 "protocol_errors": self.errors,
+                "workers": workers,
+                "worker_restarts": [w["restarts"] for w in workers],
+                "shed_shard_down": [w["shed_shard_down"] for w in workers],
+                "down_shards": [
+                    w["shard"] for w in workers if w["status"] == "down"
+                ],
+                "merged_shards": list(indices),
             },
         )
 
@@ -301,14 +572,66 @@ class ShardCluster:
     # Fleet snapshot
     # ------------------------------------------------------------------
     async def snapshot(self) -> SimulationResult:
-        """One merged mid-run snapshot, fanned in over the wire."""
-        per_shard = await asyncio.gather(
-            *(self._shard_snapshot(port) for port in self.ports)
-        )
-        return self._merge(list(per_shard))
+        """One merged mid-run snapshot over the surviving shards.
 
-    async def _shard_snapshot(self, port: int) -> SimulationResult:
-        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        Shards that are down (or fail their bounded snapshot round trip)
+        are skipped and noted in ``extras["workers"]`` /
+        ``extras["merged_shards"]`` instead of poisoning the merge for
+        every client.
+
+        Raises:
+            ShardDownError: when no live shard answered.
+        """
+        live = [worker for worker in self._workers if worker.status == "up"]
+        results = await asyncio.gather(
+            *(self._try_shard_snapshot(worker) for worker in live)
+        )
+        per_shard: list[SimulationResult] = []
+        indices: list[int] = []
+        for worker, result in zip(live, results):
+            if result is not None:
+                per_shard.append(result)
+                indices.append(worker.index)
+        if not per_shard:
+            raise ShardDownError("no live shard worker answered a snapshot")
+        return self._merge(per_shard, indices)
+
+    async def _try_shard_snapshot(
+        self, worker: WorkerState
+    ) -> "SimulationResult | None":
+        """One shard's snapshot, bounded and failure-typed (None = skip)."""
+        try:
+            return await asyncio.wait_for(
+                self._shard_snapshot(worker.index), self.snapshot_timeout
+            )
+        except (
+            ConnectionError,
+            OSError,
+            ValueError,
+            EOFError,
+            asyncio.TimeoutError,
+            TimeoutError,
+            asyncio.IncompleteReadError,
+        ) as exc:
+            # The supervisor owns the status transition (it can tell a
+            # crash from a transient hiccup via the process sentinel);
+            # here the shard is only skipped for this snapshot.
+            logger.warning("snapshot of shard %d failed: %r", worker.index, exc)
+            return None
+
+    async def _shard_snapshot(self, shard: int) -> SimulationResult:
+        """One worker's own snapshot over its wire protocol.
+
+        Raises:
+            ShardDownError: on EOF — the worker died between the
+                connection and the reply (an empty ``readline`` must not
+                surface as a ``json.JSONDecodeError`` crash).
+        """
+        reader, writer = await connect_with_retry(
+            "127.0.0.1",
+            lambda: self._workers[shard].port,
+            attempts=self.connect_attempts,
+        )
         try:
             writer.write(b'{"kind": "snapshot"}\n')
             await writer.drain()
@@ -319,6 +642,10 @@ class ShardCluster:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+        if not line:
+            raise ShardDownError(
+                f"shard {shard} closed the snapshot connection (EOF)"
+            )
         record = json.loads(line)
         record.pop("kind", None)
         return result_from_dict(record)
@@ -327,7 +654,12 @@ class ShardCluster:
     # Public router socket
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
-        """One client session: route record batches, pump outcomes back."""
+        """One client session: route record batches, pump outcomes back.
+
+        A shard worker dying mid-session never tears the session down:
+        its records are shed with typed error replies (see
+        :meth:`_shed`) while the other shards keep answering.
+        """
         upstreams: "dict[int, tuple[CoalescingWriter, asyncio.Task]]" = {}
         downstream = CoalescingWriter(
             writer, batch_max=self.batch_max, flush_us=self.flush_us
@@ -339,15 +671,31 @@ class ShardCluster:
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
-            for _, pump in upstreams.values():
-                pump.cancel()
-            for up, pump in upstreams.values():
-                try:
-                    await pump
-                except (asyncio.CancelledError, Exception):
-                    pass
-                await up.aclose()
-            await downstream.aclose()
+            await self._close_session(upstreams, downstream)
+
+    async def _close_session(self, upstreams, downstream) -> None:
+        """Tear down one session's upstream pumps and writers.
+
+        Cancellation of the *handler itself* (server shutdown while the
+        teardown runs) propagates out of the ``asyncio.wait``; a pump
+        that failed with a real exception is logged and counted in
+        ``protocol_errors`` instead of being silently swallowed.
+        """
+        pumps = [pump for _, pump in upstreams.values()]
+        for pump in pumps:
+            pump.cancel()
+        if pumps:
+            done, _ = await asyncio.wait(pumps)
+            for task in done:
+                if task.cancelled():
+                    continue
+                exc = task.exception()
+                if exc is not None:
+                    self.errors += 1
+                    logger.warning("outcome pump failed: %r", exc)
+        for up, _ in upstreams.values():
+            await up.aclose()
+        await downstream.aclose()
 
     async def _dispatch_batch(self, lines, downstream, upstreams) -> None:
         """Decode one wire batch, route it, forward per (shard, batch).
@@ -367,9 +715,30 @@ class ShardCluster:
                 if isinstance(record, dict) and record.get("kind") == "snapshot":
                     await self._forward(items, downstream, upstreams)
                     items = []
-                    merged = {"kind": "snapshot"}
-                    merged.update(asdict(await self.snapshot()))
-                    downstream.write(json.dumps(merged).encode("utf-8") + b"\n")
+                    try:
+                        merged = {"kind": "snapshot"}
+                        merged.update(asdict(await self.snapshot()))
+                        downstream.write(
+                            json.dumps(merged).encode("utf-8") + b"\n"
+                        )
+                    except ShardDownError as exc:
+                        self.errors += 1
+                        downstream.write(
+                            json.dumps(
+                                {
+                                    "kind": "error",
+                                    "reason": "shard_down",
+                                    "message": str(exc),
+                                }
+                            ).encode("utf-8")
+                            + b"\n"
+                        )
+                    # Snapshot replies are full fleet results — orders of
+                    # magnitude bigger than outcome lines — so they need
+                    # the same backpressure point as every other write
+                    # path, or a snapshot-spamming client grows the write
+                    # buffer without bound.
+                    await downstream.backpressure()
                     continue
                 items.append(item_from_record(record))
             except (ValueError, KeyError, TypeError) as exc:
@@ -379,7 +748,13 @@ class ShardCluster:
         await self._forward(items, downstream, upstreams)
 
     async def _forward(self, items, downstream, upstreams) -> None:
-        """Group a decoded batch by shard; one coalesced write per shard."""
+        """Group a decoded batch by shard; one coalesced write per shard.
+
+        Records owned by a shard that is not up — or whose worker dies
+        between the liveness check and the write — are shed, not queued:
+        the client gets one ``shard_down`` error reply per record and the
+        session keeps flowing.
+        """
         if not items:
             return
         def on_error(_item, exc):
@@ -388,9 +763,34 @@ class ShardCluster:
         by_shard = route_batch(self.router, items, on_error=on_error)
         for shard, routed in by_shard.items():
             self.records_received += len(routed)
-            up = await self._upstream(shard, downstream, upstreams)
-            up.write_batch(encode_lines(routed), len(routed))
-            await up.backpressure()
+            worker = self._workers[shard]
+            if worker.status != "up":
+                self._shed(worker, len(routed), downstream)
+                continue
+            try:
+                up = await self._upstream(shard, downstream, upstreams)
+                up.write_batch(encode_lines(routed), len(routed))
+                await up.backpressure()
+            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+                self._shed(worker, len(routed), downstream)
+
+    def _shed(self, worker: WorkerState, count: int, downstream) -> None:
+        """Account and reply for records dropped on a down shard.
+
+        The cluster analogue of the paper's OSmax drop: the records are
+        lost by design, the loss is *counted* (per shard, in
+        ``extras["shed_shard_down"]``), and the sender is told with a
+        typed outcome instead of a killed session.
+        """
+        worker.shed_shard_down += count
+        reply = (
+            json.dumps(
+                {"kind": "error", "reason": "shard_down", "shard": worker.index}
+            ).encode("utf-8")
+            + b"\n"
+        )
+        for _ in range(count):
+            downstream.write(reply)
 
     @staticmethod
     def _error_reply(downstream: CoalescingWriter, exc: Exception) -> None:
@@ -400,12 +800,26 @@ class ShardCluster:
         )
 
     async def _upstream(self, shard: int, downstream, upstreams) -> CoalescingWriter:
-        """This client's connection to one shard, opened on first use."""
+        """This client's connection to one shard, opened on first use.
+
+        A cached connection whose pump has ended or whose transport is
+        closing belongs to a dead (or restarted) worker incarnation; it
+        is discarded and reopened against the worker's *current* port —
+        :func:`~repro.live.wire.connect_with_retry` re-resolves the port
+        every attempt, so a restart mid-reconnect still lands.
+        """
         entry = upstreams.get(shard)
         if entry is not None:
-            return entry[0]
-        up_reader, up_writer = await asyncio.open_connection(
-            "127.0.0.1", self.ports[shard]
+            up, pump = entry
+            if not up.is_closing and not pump.done():
+                return up
+            del upstreams[shard]
+            await self._collect_pump(pump)
+            await up.aclose()
+        up_reader, up_writer = await connect_with_retry(
+            "127.0.0.1",
+            lambda: self._workers[shard].port,
+            attempts=self.connect_attempts,
         )
         up = CoalescingWriter(
             up_writer, batch_max=self.batch_max, flush_us=self.flush_us
@@ -413,6 +827,15 @@ class ShardCluster:
         pump = asyncio.ensure_future(self._pump(up_reader, downstream))
         upstreams[shard] = (up, pump)
         return up
+
+    async def _collect_pump(self, pump: asyncio.Task) -> None:
+        """Retire one pump task, surfacing (not swallowing) its failure."""
+        pump.cancel()
+        done, _ = await asyncio.wait([pump])
+        task = next(iter(done))
+        if not task.cancelled() and task.exception() is not None:
+            self.errors += 1
+            logger.warning("outcome pump failed: %r", task.exception())
 
     @staticmethod
     async def _pump(up_reader, downstream: CoalescingWriter) -> None:

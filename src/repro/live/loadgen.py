@@ -17,20 +17,37 @@ Two modes, matching the two ways the simulator gets its workload:
 The generator paces itself on the runtime's clock, so the same code drives
 a :class:`~repro.live.clock.WallClock` (real traffic) or an
 :class:`~repro.sim.engine.Engine` (deterministic parity tests).
+
+For traffic that crosses a socket, :class:`WireClient` is the resilient
+counterpart: a JSONL/TCP client (used by ``repro-live loadgen``) that
+connects through :func:`~repro.live.wire.connect_with_retry` and
+transparently reconnects when the server — e.g. a shard worker being
+restarted by the cluster supervisor — drops the connection mid-stream.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import asyncio
+import logging
+from typing import Callable, Iterable
 
 from repro.config import UpdatePattern
 from repro.db.objects import Update
 from repro.live.runtime import LiveRuntime, TransactionHandle
-from repro.live.wire import DEFAULT_BATCH_MAX
+from repro.live.wire import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_CONNECT_ATTEMPTS,
+    DEFAULT_FLUSH_US,
+    CoalescingWriter,
+    connect_with_retry,
+)
 from repro.sim.events import Event
 from repro.sim.streams import StreamFamily
+from repro.workload.codec import encode_item
 from repro.workload.transactions import TransactionGenerator, TransactionSpec
 from repro.workload.updates import UpdateStreamGenerator
+
+logger = logging.getLogger(__name__)
 
 
 class LoadGenerator:
@@ -213,3 +230,150 @@ class LoadGenerator:
             if handle.outcome is not None:
                 counts[handle.outcome] = counts.get(handle.outcome, 0) + 1
         return counts
+
+
+# ----------------------------------------------------------------------
+# Reconnecting wire client
+# ----------------------------------------------------------------------
+class WireClient:
+    """A reconnecting JSONL/TCP client for live ingest servers.
+
+    Wraps one connection to a server (or shard-cluster router) behind
+    :func:`~repro.live.wire.connect_with_retry`, coalesces writes through
+    a :class:`~repro.live.wire.CoalescingWriter`, and feeds every reply
+    line to ``on_line``.  When the peer drops the connection — a
+    restarting server, a killed worker — the next :meth:`send` reopens it
+    with the same backoff schedule instead of failing the whole stream;
+    ``reconnects`` counts how often that happened.  Records written into
+    the gap are lost exactly like the paper's OS-queue drops: the stream
+    is fire-and-forget, so resilience means *resuming*, not replaying.
+
+    Args:
+        host / port: Server address.
+        batch_max / flush_us: Coalescing bounds for the write side.
+        attempts: Connection attempts per (re)connect before giving up.
+        on_line: Optional callback invoked with every raw reply line.
+
+    Attributes:
+        reconnects: Completed reconnections after a lost connection.
+        lines_received: Reply lines seen across all connections.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
+        attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+        on_line: "Callable[[bytes], None] | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.flush_us = flush_us
+        self.attempts = attempts
+        self.on_line = on_line
+        self.reconnects = 0
+        self.lines_received = 0
+        self._writer: asyncio.StreamWriter | None = None
+        self._out: CoalescingWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+
+    @property
+    def connected(self) -> bool:
+        """Whether the current connection is usable for writes.
+
+        Checks the reader task as well as the transport: a peer that
+        closed its end sends EOF (ending the reader) long before a write
+        in this direction would fail, and writes into that half-closed
+        socket would be silently lost.
+        """
+        return (
+            self._out is not None
+            and not self._out.is_closing
+            and self._reader_task is not None
+            and not self._reader_task.done()
+        )
+
+    async def connect(self) -> None:
+        """Open the initial connection (with retry)."""
+        await self._open()
+
+    async def _open(self) -> None:
+        reader, writer = await connect_with_retry(
+            self.host, lambda: self.port, attempts=self.attempts
+        )
+        self._writer = writer
+        self._out = CoalescingWriter(
+            writer, batch_max=self.batch_max, flush_us=self.flush_us
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return  # EOF: the next send() reconnects
+            self.lines_received += 1
+            if self.on_line is not None:
+                self.on_line(line)
+
+    async def _ensure_connected(self) -> None:
+        if self.connected:
+            return
+        had_connection = self._out is not None
+        await self._teardown()
+        await self._open()
+        if had_connection:
+            self.reconnects += 1
+            logger.info(
+                "wire client reconnected to %s:%d (reconnect %d)",
+                self.host, self.port, self.reconnects,
+            )
+
+    async def _teardown(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._out = None
+
+    # ------------------------------------------------------------------
+    async def send(self, item) -> None:
+        """Encode and send one update/transaction record."""
+        await self.send_line(encode_item(item).encode("utf-8") + b"\n")
+
+    async def send_line(self, line: bytes) -> None:
+        """Send one pre-encoded, newline-terminated record."""
+        await self._ensure_connected()
+        self._out.write(line)
+
+    def flush(self) -> None:
+        """Flush the coalescing buffer (no-op when disconnected)."""
+        if self._out is not None:
+            self._out.flush()
+
+    async def backpressure(self) -> None:
+        """Suspend while the transport is over its high-water mark."""
+        if self.connected:
+            await self._out.backpressure()
+
+    async def drain(self) -> None:
+        """Flush and wait for the transport to catch up."""
+        if self.connected:
+            await self._out.drain()
+
+    async def aclose(self) -> None:
+        """Flush what's pending and close the connection for good."""
+        if self._out is not None and not self._out.is_closing:
+            self._out.flush()
+        await self._teardown()

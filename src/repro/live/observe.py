@@ -24,12 +24,15 @@ from __future__ import annotations
 import asyncio
 import inspect
 import json
+import logging
 import sys
 from dataclasses import asdict
 from pathlib import Path
 from typing import IO
 
 from repro.live.runtime import LiveRuntime
+
+logger = logging.getLogger(__name__)
 
 
 class MetricsStreamer:
@@ -57,6 +60,8 @@ class MetricsStreamer:
         self.runtime = runtime
         self.interval = interval
         self.history: list[dict] = []
+        self.sample_errors = 0
+        self.last_error: str | None = None
         self._history_cap = history
         self._task: asyncio.Task | None = None
         self._stream: IO[str] | None = None
@@ -114,22 +119,47 @@ class MetricsStreamer:
                 pass
             self._task = None
         if final_emit:
-            await self.emit_async()
+            try:
+                await self.emit_async()
+            except Exception as exc:
+                self._note_sample_error(exc)
         if self._owns_stream and self._stream is not None:
             self._stream.close()
             self._stream = None
 
     async def _run(self) -> None:
+        """Sample forever; a failed sample must not kill the sampler.
+
+        A cluster-backed source raises while its shards are down or
+        restarting — that is exactly when observability matters most, so
+        the error is counted (``sample_errors`` / ``last_error``) and the
+        next tick tries again.
+        """
         while True:
             await asyncio.sleep(self.interval)
-            await self.emit_async()
+            try:
+                await self.emit_async()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self._note_sample_error(exc)
+
+    def _note_sample_error(self, exc: Exception) -> None:
+        self.sample_errors += 1
+        self.last_error = repr(exc)
+        logger.warning("metrics sample failed: %r", exc)
 
     @staticmethod
     def format_line(record: dict) -> str:
-        """Human-oriented one-line digest of a snapshot record."""
+        """Human-oriented one-line digest of a snapshot record.
+
+        Cluster snapshots append worker liveness: how many shards are
+        up, completed supervisor restarts, and records shed on down
+        shards (``extras["workers"]``, absent for a plain runtime).
+        """
         extras = record.get("extras", {})
         p99 = extras.get("install_latency_p99")
-        return (
+        line = (
             f"[{extras.get('wall_time', 0.0):8.2f}s] "
             f"applied={record['updates_applied']} "
             f"dropped={record['updates_os_dropped']} "
@@ -141,6 +171,16 @@ class MetricsStreamer:
             f"p99={'n/a' if p99 is None else f'{p99 * 1e3:.2f}ms'} "
             f"alerts={extras.get('watchdog_alerts', 0)}"
         )
+        workers = extras.get("workers")
+        if workers:
+            up = sum(1 for worker in workers if worker["status"] == "up")
+            restarts = sum(worker["restarts"] for worker in workers)
+            shed = sum(worker["shed_shard_down"] for worker in workers)
+            line += (
+                f" workers={up}/{len(workers)}up"
+                f" restarts={restarts} shed={shed}"
+            )
+        return line
 
 
 def stream_to_stdout(runtime: LiveRuntime, *, interval: float = 1.0) -> MetricsStreamer:

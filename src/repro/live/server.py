@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from dataclasses import asdict, replace
 
 from repro.live.runtime import LiveRuntime, TransactionHandle
@@ -43,6 +44,8 @@ from repro.live.wire import (
 )
 from repro.workload.codec import decode_lines, item_from_record
 from repro.db.objects import Update
+
+logger = logging.getLogger(__name__)
 
 
 class IngestServer:
@@ -169,9 +172,24 @@ class IngestServer:
                 handle = runtime.submit(replace(item, arrival_time=now))
                 task = asyncio.ensure_future(self._write_outcome(handle, replies))
                 self._outcome_tasks.add(task)
-                task.add_done_callback(self._outcome_tasks.discard)
+                task.add_done_callback(self._retire_outcome_task)
         if updates:
             runtime.ingest_batch(updates)
+
+    def _retire_outcome_task(self, task: asyncio.Task) -> None:
+        """Drop a finished outcome writer; surface a real failure.
+
+        A cancelled writer is normal shutdown; anything else means an
+        outcome could not reach its client — counted in ``errors`` and
+        logged instead of dying as an unretrieved task exception.
+        """
+        self._outcome_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.errors += 1
+            logger.warning("outcome writer failed: %r", exc)
 
     async def _write_outcome(
         self, handle: TransactionHandle, replies: CoalescingWriter

@@ -19,11 +19,17 @@ cost — not the scheduler.  This module concentrates the fix:
 The wire format itself is unchanged: a batch is exactly N
 newline-delimited JSON records in one write, so an old per-record peer
 interoperates with a coalescing one in either direction.
+
+:func:`connect_with_retry` is the shared connection primitive for peers
+that must survive a restarting endpoint (exponential backoff + jitter,
+bounded attempts, per-attempt timeout) — see ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
+from typing import Callable
 
 #: Records buffered before a size-triggered flush.  Chosen by the sweep in
 #: docs/PERFORMANCE.md ("The wire fast path"): throughput is flat past
@@ -42,6 +48,76 @@ MAX_BATCH_BYTES = 48 * 1024
 
 #: Read-side chunk size: large enough to swallow a full burst per wakeup.
 READ_CHUNK = 256 * 1024
+
+#: Default connection-retry schedule (see :func:`connect_with_retry`).
+DEFAULT_CONNECT_ATTEMPTS = 6
+DEFAULT_CONNECT_BASE_DELAY = 0.05
+DEFAULT_CONNECT_MAX_DELAY = 1.0
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: Backoff jitter draws come from a private RNG so retry timing never
+#: perturbs the module-level `random` state the workload draws depend on.
+_BACKOFF_RNG = random.Random()
+
+
+async def connect_with_retry(
+    host: str,
+    port: "int | Callable[[], int]",
+    *,
+    attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+    base_delay: float = DEFAULT_CONNECT_BASE_DELAY,
+    max_delay: float = DEFAULT_CONNECT_MAX_DELAY,
+    attempt_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    jitter: float = 0.5,
+) -> "tuple[asyncio.StreamReader, asyncio.StreamWriter]":
+    """Open a TCP connection, retrying with exponential backoff + jitter.
+
+    The resilience primitive of the live cluster: a shard worker that is
+    being restarted by the supervisor refuses connections for a few
+    hundred milliseconds, and a plain ``open_connection`` would turn that
+    blip into a client-visible failure.  Retrying here makes a restart
+    transparent to the router's upstream connections, the snapshot
+    fan-in, and reconnecting load generators.
+
+    Args:
+        host: Peer address.
+        port: Peer port, or a zero-argument callable re-resolved before
+            every attempt — a restarted shard worker comes back on a
+            *new* port, so the router passes ``lambda: worker.port``.
+        attempts: Total connection attempts before giving up (>= 1).
+        base_delay: Sleep after the first failure; doubles per attempt.
+        max_delay: Cap on the between-attempt sleep.
+        attempt_timeout: Per-attempt connect timeout.
+        jitter: Fraction of the delay added as uniform random jitter so a
+            fleet of reconnecting clients does not stampede the socket.
+
+    Returns:
+        The connected ``(reader, writer)`` pair.
+
+    Raises:
+        ConnectionError: when every attempt failed; the last underlying
+            error is chained as ``__cause__``.
+    """
+    resolve = port if callable(port) else (lambda: port)
+    attempts = max(1, attempts)
+    delay = max(0.0, base_delay)
+    last_exc: Exception | None = None
+    for attempt in range(attempts):
+        target = resolve()
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, target), attempt_timeout
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
+            last_exc = exc
+            if attempt + 1 < attempts:
+                await asyncio.sleep(
+                    delay * (1.0 + jitter * _BACKOFF_RNG.random())
+                )
+                delay = min(delay * 2.0, max_delay)
+    raise ConnectionError(
+        f"could not connect to {host}:{resolve()} after {attempts} attempts"
+    ) from last_exc
 
 
 class CoalescingWriter:
@@ -86,6 +162,16 @@ class CoalescingWriter:
         self._timer: asyncio.TimerHandle | None = None
         self.records = 0
         self.flushes = 0
+
+    @property
+    def is_closing(self) -> bool:
+        """Whether the underlying transport is closed or closing.
+
+        A closing writer silently drops flushed payloads (matching the
+        old per-record path), so reconnecting callers check this before
+        writing and reopen the stream instead.
+        """
+        return self._transport.is_closing()
 
     def write(self, line: bytes) -> None:
         """Buffer one newline-terminated line; flush on a full batch."""

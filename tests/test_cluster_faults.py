@@ -1,0 +1,528 @@
+"""Crash-path tests: the shard cluster under worker failure.
+
+The paper's thesis is graceful degradation — shed, account, recover —
+and these tests hold the *cluster* to the same standard the scheduler
+meets under overload.  A worker is killed mid-run via the fault-injection
+hook (`ShardCluster.kill_worker`) and the suite asserts that:
+
+* the client session stays up and sees typed ``shard_down`` errors for
+  records owned by the dead shard (never a dropped connection);
+* ``snapshot()`` and ``shutdown()`` complete within bounded timeouts,
+  merging the survivors with ``shed_shard_down`` / ``worker_restarts`` /
+  ``down_shards`` accounting in ``extras``;
+* restart mode brings the shard back on a fresh port and installs resume;
+* each of the four pre-PR crash bugs (shutdown hang, snapshot EOF
+  decode crash, swallowed pump failures, missing snapshot backpressure)
+  stays fixed.
+
+Process-spawning tests keep to 2 shards and short drains so the whole
+file stays in smoke-test territory.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass, Update
+from repro.live import MetricsStreamer, ShardCluster, ShardDownError, WireClient
+from repro.live.cluster import WorkerState
+from repro.live.wire import connect_with_retry
+from repro.metrics.results import SimulationResult
+from repro.workload.trace import update_to_dict
+
+#: Generous bound for operations the code promises to bound much tighter;
+#: CI machines are slow, a hang is what we're ruling out.
+OP_TIMEOUT = 30.0
+
+
+def _cluster_config():
+    config = baseline_config(duration=1.0, seed=11)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=500.0, mean_age=0.01)
+    config = config.with_transactions(arrival_rate=5.0)
+    return config.with_system(ips=5e8)
+
+
+def _shard_gids(router, shard, count=5):
+    """Global low-view object ids owned by one shard."""
+    gids = [
+        gid for gid in range(router.n_low)
+        if router.shard_of(ObjectClass.VIEW_LOW, gid) == shard
+    ]
+    assert len(gids) >= count, "config too small for this shard count"
+    return gids[:count]
+
+
+def _update_lines(gids, start_seq=0):
+    lines = []
+    for offset, gid in enumerate(gids):
+        update = Update(
+            seq=start_seq + offset, klass=ObjectClass.VIEW_LOW, object_id=gid,
+            value=1.0, generation_time=0.0, arrival_time=0.0,
+        )
+        lines.append(json.dumps(update_to_dict(update)).encode() + b"\n")
+    return b"".join(lines)
+
+
+async def _wait_for(predicate, *, timeout=OP_TIMEOUT, interval=0.05):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached within the timeout")
+        await asyncio.sleep(interval)
+
+
+def _zero_result(extras=None):
+    kwargs = {}
+    for field in dataclasses.fields(SimulationResult):
+        if field.name == "algorithm":
+            kwargs[field.name] = "TF"
+        elif field.name == "staleness":
+            kwargs[field.name] = "max_age"
+        elif field.name == "extras":
+            kwargs[field.name] = extras or {}
+        else:
+            kwargs[field.name] = 0
+    return SimulationResult(**kwargs)
+
+
+class FakeDownstream:
+    """Records writes and backpressure points; quacks like the writer."""
+
+    def __init__(self):
+        self.writes = []
+        self.backpressure_calls = 0
+        self.closed = False
+
+    def write(self, payload):
+        self.writes.append(payload)
+
+    async def backpressure(self):
+        self.backpressure_calls += 1
+
+    async def aclose(self):
+        self.closed = True
+
+
+# ----------------------------------------------------------------------
+# End-to-end: kill a worker mid-run (shed mode, restart_limit=0)
+# ----------------------------------------------------------------------
+def test_killed_worker_sheds_and_session_survives():
+    """Client stays connected; dead shard's records get shard_down errors;
+    snapshot and shutdown merge the survivor with full accounting."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=0,
+            flush_us=0.0,
+        )
+        host, port = await cluster.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        gids0 = _shard_gids(cluster.router, 0)
+        gids1 = _shard_gids(cluster.router, 1)
+
+        # Both shards take traffic while healthy.
+        writer.write(_update_lines(gids0) + _update_lines(gids1, start_seq=5))
+        await writer.drain()
+        await asyncio.sleep(0.3)
+
+        cluster.kill_worker(0)
+        await _wait_for(lambda: cluster.worker_status(0) == "down")
+
+        # Records owned by the dead shard are shed with typed errors …
+        writer.write(_update_lines(gids0, start_seq=10))
+        await writer.drain()
+        errors = []
+        while len(errors) < len(gids0):
+            line = await asyncio.wait_for(reader.readline(), timeout=OP_TIMEOUT)
+            assert line, "router dropped the client session"
+            errors.append(json.loads(line))
+        assert all(e["kind"] == "error" for e in errors)
+        assert all(e["reason"] == "shard_down" for e in errors)
+        assert all(e["shard"] == 0 for e in errors)
+
+        # … while the same session still serves the surviving shard and
+        # answers a merged snapshot.
+        writer.write(_update_lines(gids1, start_seq=20))
+        writer.write(b'{"kind": "snapshot"}\n')
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=OP_TIMEOUT)
+        snap = json.loads(line)
+        assert snap["kind"] == "snapshot"
+        assert snap["extras"]["merged_shards"] == [1]
+        assert snap["extras"]["down_shards"] == [0]
+        assert snap["extras"]["shed_shard_down"][0] == len(gids0)
+        statuses = [w["status"] for w in snap["extras"]["workers"]]
+        assert statuses == ["down", "up"]
+
+        writer.close()
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=1.0), timeout=OP_TIMEOUT
+        )
+        return cluster, result
+
+    cluster, result = asyncio.run(scenario())
+    assert result.extras["down_shards"] == [0]
+    assert result.extras["merged_shards"] == [1]
+    assert result.extras["shed_shard_down"][0] == 5
+    # The survivor's books balance even though its peer died.
+    assert result.updates_arrived > 0
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+
+
+def test_shutdown_bounded_when_worker_dies_before_result():
+    """Regression (pre-PR hang): a worker killed right before shutdown
+    cannot block `shutdown()` — the dead shard is reaped and noted."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=0,
+            shutdown_grace=5.0,
+        )
+        await cluster.start()
+        # Kill and shut down immediately: the supervisor may not even
+        # have seen the death yet, so shutdown itself must cope.
+        cluster.kill_worker(0)
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=0.5), timeout=OP_TIMEOUT
+        )
+        return result
+
+    result = asyncio.run(scenario())
+    assert result.extras["down_shards"] == [0]
+    assert result.extras["merged_shards"] == [1]
+
+
+def test_snapshot_skips_dead_worker():
+    """Regression (pre-PR crash): `snapshot()` with a dead worker merges
+    the survivors instead of raising out of the readline/json path."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=0,
+        )
+        await cluster.start()
+        cluster.kill_worker(1)
+        await _wait_for(lambda: cluster.worker_status(1) == "down")
+        snapshot = await asyncio.wait_for(cluster.snapshot(), timeout=OP_TIMEOUT)
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=0.5), timeout=OP_TIMEOUT
+        )
+        return snapshot, result
+
+    snapshot, result = asyncio.run(scenario())
+    assert snapshot.extras["merged_shards"] == [0]
+    assert snapshot.extras["down_shards"] == [1]
+    assert result.extras["down_shards"] == [1]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: restart mode
+# ----------------------------------------------------------------------
+def test_restart_resumes_installs_and_books_balance():
+    """The supervisor restarts a killed worker on a fresh port, the
+    router re-reaches it through the same client session, and the final
+    merged books still balance."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=1,
+            flush_us=0.0,
+        )
+        host, port = await cluster.start()
+        first_port = cluster.ports[0]
+        reader, writer = await asyncio.open_connection(host, port)
+        gids0 = _shard_gids(cluster.router, 0)
+
+        writer.write(_update_lines(gids0))
+        await writer.drain()
+        await asyncio.sleep(0.3)
+
+        cluster.kill_worker(0)
+        await _wait_for(
+            lambda: cluster.worker_status(0) == "up"
+            and cluster.liveness()[0]["restarts"] == 1
+        )
+        assert cluster.ports[0] != first_port
+
+        # Installs resume on the restarted shard, over the *same* client
+        # connection (the router replaced its stale upstream).
+        writer.write(_update_lines(gids0, start_seq=10))
+        await writer.drain()
+        await asyncio.sleep(0.5)
+        writer.write(b'{"kind": "snapshot"}\n')
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=OP_TIMEOUT)
+        snap = json.loads(line)
+        assert snap["extras"]["merged_shards"] == [0, 1]
+        assert snap["extras"]["worker_restarts"] == [1, 0]
+        assert snap["updates_arrived"] >= len(gids0)
+
+        writer.close()
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=1.0), timeout=OP_TIMEOUT
+        )
+        return result
+
+    result = asyncio.run(scenario())
+    assert result.extras["worker_restarts"] == [1, 0]
+    assert result.extras["down_shards"] == []
+    # Both surviving runtimes (one restarted) keep the conservation law.
+    assert result.update_conservation_gap() == 0
+    assert result.transaction_conservation_gap() == 0
+
+
+# ----------------------------------------------------------------------
+# Unit: the four crash-path bugs
+# ----------------------------------------------------------------------
+def test_shard_snapshot_eof_is_typed_not_decode_error():
+    """Regression: EOF from a worker connection raises ShardDownError,
+    not json.JSONDecodeError from `json.loads(b"")`."""
+
+    async def scenario():
+        async def eof_handler(reader, writer):
+            await reader.readline()
+            writer.close()  # read the request, then hang up before any reply
+
+        server = await asyncio.start_server(eof_handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        cluster = ShardCluster(_cluster_config(), "TF", shards=2)
+        cluster._workers = [WorkerState(0, port=port, status="up")]
+        try:
+            with pytest.raises(ShardDownError):
+                await cluster._shard_snapshot(0)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_close_session_counts_pump_failures():
+    """Regression: a pump that died with a real exception is counted in
+    protocol_errors (and logged) instead of being silently swallowed."""
+
+    class FakeUpstream:
+        async def aclose(self):
+            pass
+
+    async def scenario():
+        cluster = ShardCluster(_cluster_config(), "TF", shards=2)
+
+        async def boom():
+            raise ValueError("upstream exploded")
+
+        pump = asyncio.ensure_future(boom())
+        await asyncio.sleep(0)  # let it fail
+        downstream = FakeDownstream()
+        await cluster._close_session({0: (FakeUpstream(), pump)}, downstream)
+        return cluster, downstream
+
+    cluster, downstream = asyncio.run(scenario())
+    assert cluster.errors == 1
+    assert downstream.closed
+
+
+def test_snapshot_reply_applies_backpressure(monkeypatch):
+    """Regression: the inline snapshot reply in _dispatch_batch awaits
+    the same backpressure point as every other write path."""
+
+    async def scenario():
+        cluster = ShardCluster(_cluster_config(), "TF", shards=2)
+
+        async def fake_snapshot():
+            return _zero_result()
+
+        monkeypatch.setattr(cluster, "snapshot", fake_snapshot)
+        downstream = FakeDownstream()
+        await cluster._dispatch_batch([b'{"kind": "snapshot"}'], downstream, {})
+        return downstream
+
+    downstream = asyncio.run(scenario())
+    assert len(downstream.writes) == 1
+    assert json.loads(downstream.writes[0])["kind"] == "snapshot"
+    assert downstream.backpressure_calls >= 1
+
+
+def test_snapshot_reply_degrades_when_all_shards_down(monkeypatch):
+    """An all-shards-down snapshot answers a typed error on the wire
+    instead of killing the client session."""
+
+    async def scenario():
+        cluster = ShardCluster(_cluster_config(), "TF", shards=2)
+
+        async def fake_snapshot():
+            raise ShardDownError("no live shard worker answered a snapshot")
+
+        monkeypatch.setattr(cluster, "snapshot", fake_snapshot)
+        downstream = FakeDownstream()
+        await cluster._dispatch_batch([b'{"kind": "snapshot"}'], downstream, {})
+        return cluster, downstream
+
+    cluster, downstream = asyncio.run(scenario())
+    reply = json.loads(downstream.writes[0])
+    assert reply["kind"] == "error"
+    assert reply["reason"] == "shard_down"
+    assert cluster.errors == 1
+    assert downstream.backpressure_calls >= 1
+
+
+# ----------------------------------------------------------------------
+# Unit: connection retry and the reconnecting client
+# ----------------------------------------------------------------------
+def test_connect_with_retry_bounded_failure():
+    """With nothing listening, the retry budget is honored and the
+    failure is one typed ConnectionError with the cause chained."""
+
+    async def scenario():
+        with pytest.raises(ConnectionError):
+            await connect_with_retry(
+                "127.0.0.1", 1, attempts=2, base_delay=0.01, max_delay=0.02
+            )
+
+    asyncio.run(scenario())
+
+
+def test_connect_with_retry_reaches_late_server():
+    """A server that binds after the first attempts is still reached —
+    the restart-transparency property the router and loadgen rely on."""
+
+    async def scenario():
+        # Reserve a port, then release it and bind the real server late.
+        probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+
+        server = None
+
+        async def bind_late():
+            nonlocal server
+            await asyncio.sleep(0.3)
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", port
+            )
+
+        binder = asyncio.ensure_future(bind_late())
+        reader, writer = await connect_with_retry(
+            "127.0.0.1", port, attempts=10, base_delay=0.05, max_delay=0.2
+        )
+        writer.close()
+        await writer.wait_closed()
+        await binder
+        server.close()
+        await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_connect_with_retry_reresolves_callable_port():
+    """A callable port is re-read before every attempt, so a shard that
+    restarts onto a new port is found mid-retry."""
+
+    async def scenario():
+        server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+        good_port = server.sockets[0].getsockname()[1]
+        ports = iter([1, good_port])  # first attempt: a dead port
+        reader, writer = await connect_with_retry(
+            "127.0.0.1", lambda: next(ports),
+            attempts=2, base_delay=0.01, max_delay=0.02,
+        )
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_wire_client_reconnects_after_peer_close():
+    """WireClient: a peer that hangs up after each line is transparently
+    re-reached on the next send, with the reconnect counted."""
+
+    async def scenario():
+        connections = 0
+        replies = []
+
+        async def one_shot_handler(reader, writer):
+            nonlocal connections
+            connections += 1
+            await reader.readline()
+            writer.write(b'{"kind":"ack"}\n')
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(one_shot_handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = WireClient(
+            "127.0.0.1", port, flush_us=0.0, attempts=4,
+            on_line=lambda line: replies.append(line),
+        )
+        await client.connect()
+        await client.send_line(b'{"seq": 1}\n')
+        # Wait for the peer's FIN to land so the next send must reconnect.
+        await _wait_for(lambda: not client.connected, timeout=10.0)
+        await client.send_line(b'{"seq": 2}\n')
+        await _wait_for(lambda: len(replies) >= 2, timeout=10.0)
+        await client.aclose()
+        server.close()
+        await server.wait_closed()
+        return connections, client.reconnects, replies
+
+    connections, reconnects, replies = asyncio.run(scenario())
+    assert connections == 2
+    assert reconnects == 1
+    assert len(replies) == 2
+
+
+# ----------------------------------------------------------------------
+# Unit: observability under failure
+# ----------------------------------------------------------------------
+def test_metrics_streamer_survives_snapshot_failures():
+    """A failing cluster snapshot is counted, not fatal to the sampler."""
+
+    class FlakySource:
+        def __init__(self):
+            self.calls = 0
+
+        def snapshot(self):
+            self.calls += 1
+            raise ShardDownError("everything is down")
+
+    async def scenario():
+        source = FlakySource()
+        streamer = MetricsStreamer(source, interval=0.02)
+        streamer.start()
+        await _wait_for(lambda: streamer.sample_errors >= 2, timeout=10.0)
+        alive = streamer._task is not None and not streamer._task.done()
+        await streamer.stop(final_emit=False)
+        return source, streamer, alive
+
+    source, streamer, alive = asyncio.run(scenario())
+    assert alive
+    assert source.calls >= 2
+    assert streamer.sample_errors >= 2
+    assert "ShardDownError" in streamer.last_error
+
+
+def test_format_line_reports_worker_liveness():
+    record = dataclasses.asdict(
+        _zero_result(
+            extras={
+                "workers": [
+                    {"shard": 0, "status": "down", "restarts": 1,
+                     "shed_shard_down": 7, "port": 1},
+                    {"shard": 1, "status": "up", "restarts": 0,
+                     "shed_shard_down": 0, "port": 2},
+                ]
+            }
+        )
+    )
+    line = MetricsStreamer.format_line(record)
+    assert "workers=1/2up" in line
+    assert "restarts=1" in line
+    assert "shed=7" in line
