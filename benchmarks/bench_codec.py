@@ -1,0 +1,119 @@
+"""Codec microbenchmarks: JSONL vs binary frames, per record and per batch.
+
+Times the two wire codecs on the same drawn workload (updates +
+transaction specs, partial updates included), isolating the
+encode/decode cost the binary protocol removes from every hop.  Rates
+are appended to ``BENCH_perf.json`` via ``extra_info`` as
+``records_per_second``.
+
+Run with ``pytest benchmarks/bench_codec.py --benchmark-only``.
+"""
+
+from repro.config import baseline_config
+from repro.sim.streams import StreamFamily
+from repro.workload.codec import (
+    FrameDecoder,
+    decode_lines,
+    encode_frame,
+    encode_frames,
+    encode_item,
+    encode_lines,
+    item_from_record,
+)
+from repro.workload.transactions import TransactionGenerator
+from repro.workload.updates import UpdateStreamGenerator
+
+#: Workload size per timed round; big enough that per-call overhead of
+#: the batch entry points is amortized away.
+BATCH_RECORDS = 5_000
+
+
+def _drawn_items():
+    config = baseline_config(duration=1.0, seed=424242)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=100.0, partial_probability=0.3)
+    config = config.with_transactions(arrival_rate=20.0)
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    items = []
+    t = 0.0
+    while len(items) < BATCH_RECORDS - BATCH_RECORDS // 10:
+        t += update_gen.next_interarrival()
+        items.append(update_gen.draw_update(t))
+    t = 0.0
+    while len(items) < BATCH_RECORDS:
+        t += txn_gen.next_interarrival()
+        items.append(txn_gen.draw_spec(t))
+    return items
+
+
+ITEMS = _drawn_items()
+JSONL_PAYLOAD = encode_lines(ITEMS)
+BINARY_PAYLOAD = encode_frames(ITEMS)
+
+
+def _rate(benchmark):
+    benchmark.extra_info["records_per_second"] = (
+        BATCH_RECORDS / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["records"] = BATCH_RECORDS
+
+
+def test_encode_batch_jsonl(benchmark):
+    benchmark(encode_lines, ITEMS)
+    _rate(benchmark)
+
+
+def test_encode_batch_binary(benchmark):
+    benchmark(encode_frames, ITEMS)
+    _rate(benchmark)
+
+
+def test_encode_per_record_jsonl(benchmark):
+    def run():
+        for item in ITEMS:
+            encode_item(item)
+
+    benchmark(run)
+    _rate(benchmark)
+
+
+def test_encode_per_record_binary(benchmark):
+    def run():
+        for item in ITEMS:
+            encode_frame(item)
+
+    benchmark(run)
+    _rate(benchmark)
+
+
+def test_decode_batch_jsonl(benchmark):
+    lines = JSONL_PAYLOAD.splitlines()
+
+    def run():
+        return [item_from_record(r) for r in decode_lines(lines)]
+
+    out = benchmark(run)
+    assert len(out) == BATCH_RECORDS
+    _rate(benchmark)
+
+
+def test_decode_batch_binary(benchmark):
+    def run():
+        return FrameDecoder().feed(BINARY_PAYLOAD)
+
+    out = benchmark(run)
+    assert len(out) == BATCH_RECORDS
+    _rate(benchmark)
+
+
+def test_decode_batch_binary_raw_updates(benchmark):
+    """The router's fast path: update frames stay raw bytes."""
+
+    def run():
+        return FrameDecoder(raw_updates=True).feed(BINARY_PAYLOAD)
+
+    out = benchmark(run)
+    assert len(out) == BATCH_RECORDS
+    _rate(benchmark)

@@ -29,6 +29,26 @@ PERF_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 ENGINE_BENCH_EVENTS = 50_000
 
 
+#: Every appended entry must carry these, with ``rounds >= 1`` — a
+#: malformed entry (see the 2026-08-06T02:00 repair) poisons downstream
+#: tooling like compare_bench.py, so the writer refuses it loudly.
+REQUIRED_ENTRY_FIELDS = ("mean_s", "min_s", "stddev_s", "rounds")
+
+
+def _entry_is_valid(name, entry):
+    missing = [
+        field for field in REQUIRED_ENTRY_FIELDS
+        if entry.get(field) is None
+    ]
+    if missing:
+        print(f"BENCH_perf: dropping {name}: missing {', '.join(missing)}")
+        return False
+    if entry["rounds"] < 1:
+        print(f"BENCH_perf: dropping {name}: rounds={entry['rounds']} < 1")
+        return False
+    return True
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Append this session's benchmark stats to ``BENCH_perf.json``."""
     benchmark_session = getattr(session.config, "_benchmarksession", None)
@@ -46,7 +66,11 @@ def pytest_sessionfinish(session, exitstatus):
             entry["events_per_second"] = ENGINE_BENCH_EVENTS / bench.stats.mean
         if bench.extra_info:
             entry["extra_info"] = dict(bench.extra_info)
+        if not _entry_is_valid(bench.fullname, entry):
+            continue
         stats[bench.fullname] = entry
+    if not stats:
+        return
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "python": platform.python_version(),

@@ -27,6 +27,7 @@ the executing shard and counted in ``router.remapped_reads`` — see
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.config import SimulationConfig
@@ -41,6 +42,7 @@ from repro.db.sharding import ShardRouter
 from repro.metrics.freshness import SampledLedger
 from repro.metrics.results import SimulationResult
 from repro.sim.clock import Clock
+from repro.workload.codec import peek_update_route, reroute_update_frame
 from repro.workload.transactions import TransactionSpec
 
 
@@ -152,7 +154,15 @@ def route_batch(router: ShardRouter, items, on_error=None) -> "dict[int, list]":
     local_id = router.local_id
     for item in items:
         try:
-            if isinstance(item, Update):
+            if isinstance(item, bytes):
+                # Raw binary update frame: resolve the shard from the
+                # fixed-offset routing fields and patch the object id in
+                # place — no Update is ever materialized on this path.
+                klass, gid = peek_update_route(item)
+                shard = shard_of(klass, gid)
+                update_counts[shard] = update_counts.get(shard, 0) + 1
+                routed = reroute_update_frame(item, local_id(klass, gid))
+            elif isinstance(item, Update):
                 shard = shard_of(item.klass, item.object_id)
                 update_counts[shard] = update_counts.get(shard, 0) + 1
                 routed = Update(
@@ -167,7 +177,7 @@ def route_batch(router: ShardRouter, items, on_error=None) -> "dict[int, list]":
                 )
             else:
                 shard, routed = route_spec(router, item)
-        except (ValueError, IndexError) as exc:
+        except (ValueError, IndexError, struct.error) as exc:
             router.note_routing_error()
             if on_error is not None:
                 on_error(item, exc)

@@ -20,9 +20,12 @@ Layout:
   :class:`~repro.config.SimulationConfig`, or bit-for-bit replay of a
   recorded simulator trace.
 * :class:`MetricsStreamer` — periodic JSONL snapshots of a running system.
-* :class:`IngestServer` — optional TCP ingest (JSON lines over a socket).
+* :class:`IngestServer` — optional TCP ingest; each session negotiates
+  JSONL or the binary frame protocol from its first bytes.
 * :class:`ShardCluster` — N shard worker processes (one pipeline each)
   behind one ingest router; merged fleet snapshots and final results.
+  The internal hop defaults to binary frames and can carry the update
+  stream over shared-memory rings (:class:`~repro.live.shm.SpscRing`).
 
 Run it: ``python -m repro.live serve|loadgen|bench`` (also installed as the
 ``repro-live`` console script).
@@ -39,19 +42,31 @@ from repro.live.loadgen import LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.server import IngestServer
-from repro.live.wire import connect_with_retry
+from repro.live.shm import SpscRing
+from repro.live.wire import (
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
+    WIRE_PROTOCOLS,
+    connect_with_retry,
+    negotiate_protocol,
+)
 
 __all__ = [
     "IngestServer",
     "LiveRuntime",
     "LoadGenerator",
     "MetricsStreamer",
+    "PROTOCOL_BINARY",
+    "PROTOCOL_JSONL",
     "ShardCluster",
     "ShardDownError",
     "ShardedBenchResult",
+    "SpscRing",
     "TransactionHandle",
     "WallClock",
+    "WIRE_PROTOCOLS",
     "WireClient",
     "connect_with_retry",
+    "negotiate_protocol",
     "run_sharded_bench",
 ]

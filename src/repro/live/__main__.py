@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fail-after", type=float, default=1.0,
                        metavar="SECONDS",
                        help="delay before --fail-shard fires (default 1)")
+    serve.add_argument("--wire", choices=["jsonl", "binary"],
+                       default="binary",
+                       help="router→worker hop protocol (sharded mode; "
+                       "default binary — the public socket negotiates "
+                       "per client session regardless)")
+    serve.add_argument("--shm", action="store_true",
+                       help="carry the update stream to shard workers over "
+                       "shared-memory rings instead of loopback TCP "
+                       "(sharded mode; implies --wire binary for the hop)")
 
     loadgen = sub.add_parser("loadgen",
                              help="stream traffic at a running server")
@@ -151,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "exponential backoff — a restarting server is "
                          f"re-reached transparently (default "
                          f"{DEFAULT_CONNECT_ATTEMPTS})")
+    loadgen.add_argument("--wire", choices=["jsonl", "binary"],
+                         default="jsonl",
+                         help="client wire protocol (default jsonl; binary "
+                         "sends struct frames behind the magic-preamble "
+                         "handshake — the server negotiates per session)")
 
     bench = sub.add_parser("bench",
                            help="in-process throughput/latency benchmark")
@@ -236,6 +250,8 @@ async def _serve_sharded(args) -> int:
         host=args.host, port=args.port,
         batch_max=args.batch_max, flush_us=args.flush_us,
         restart_limit=args.restart_limit,
+        wire="binary" if args.shm else args.wire,
+        shm=args.shm,
     )
     host, port = await cluster.start()
     print(f"repro-live: {args.algorithm} serving on {host}:{port} across "
@@ -302,7 +318,7 @@ async def _loadgen(args) -> int:
     client = WireClient(
         args.host, args.port, batch_max=args.batch_max,
         flush_us=args.flush_us, attempts=args.connect_attempts,
-        on_line=on_line,
+        on_line=on_line, wire=args.wire,
     )
     await client.connect()
     sent = 0

@@ -17,9 +17,34 @@ difference — and:
   per-shard accounting in ``extras``.
 
 Workers are plain ``multiprocessing`` ("spawn") children; control flows
-over a pipe (ready/stop/result), data flows over TCP.  Each worker
-rebuilds the (deterministic) :class:`~repro.db.sharding.ShardRouter` from
-the global config, so nothing stateful crosses the process boundary.
+over a pipe (ready/stop/result), data flows over TCP and (optionally)
+shared memory.  Each worker rebuilds the (deterministic)
+:class:`~repro.db.sharding.ShardRouter` from the global config, so
+nothing stateful crosses the process boundary.
+
+Two data-plane optimizations stack on the founding JSONL/TCP design:
+
+* **Binary internal hop** (``wire="binary"``, the default): the
+  router→worker connections speak the length-prefixed
+  :class:`~repro.workload.codec.BinaryCodec` frames instead of JSONL —
+  the workers' own :class:`~repro.live.server.IngestServer` negotiates
+  per connection, so either protocol works on the inside regardless of
+  what the *client* speaks on the outside (the public socket negotiates
+  separately; a JSONL client can front a binary fleet and vice versa).
+* **Shared-memory rings** (``shm=True``): one
+  :class:`~repro.live.shm.SpscRing` per shard carries the
+  fire-and-forget *update* stream as binary batch blobs, bypassing the
+  loopback-TCP copy entirely.  Transactions (which need a reply path
+  with per-session correlation) and snapshots stay on TCP.  A full ring
+  falls back to TCP for that batch; a restarted worker permanently
+  disables its shard's ring (fresh process, stale cursors) and the
+  shard keeps serving over TCP — counted in ``extras``
+  (``ring_records`` / ``ring_fallbacks``).  One relaxation is inherent:
+  updates (ring) and transactions (TCP) travel different channels, so
+  the strict wire order *between* an update and a following transaction
+  is no longer guaranteed — within each channel order is preserved, and
+  the paper's workload semantics (fire-and-forget stream vs. queried
+  reads) tolerate exactly this.
 
 The cluster is **fault tolerant** the same way the scheduler is overload
 tolerant: by shedding, accounting, and recovering.  A supervisor task
@@ -55,19 +80,51 @@ from repro.core.sharding import route_batch, shard_config
 from repro.db.sharding import ShardRouter
 from repro.live.loadgen import LoadGenerator
 from repro.live.runtime import LiveRuntime
+from repro.db.objects import Update
 from repro.live.server import IngestServer
+from repro.live.shm import DEFAULT_RING_BYTES, SpscRing
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
     DEFAULT_FLUSH_US,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
+    WIRE_PROTOCOLS,
     CoalescingWriter,
+    WireProtocolError,
     connect_with_retry,
+    encode_reply,
+    frame_reply_body,
+    iter_frame_batches,
     iter_line_batches,
+    negotiate_protocol,
 )
 from repro.metrics.results import SimulationResult
 from repro.metrics.storage import result_from_dict
-from repro.workload.codec import decode_lines, encode_lines, item_from_record
+from repro.workload.codec import (
+    WIRE_PREAMBLE,
+    BinaryCodec,
+    decode_lines,
+    encode_frame,
+    encode_frames,
+    encode_lines,
+    item_from_record,
+)
+from repro.workload.transactions import TransactionSpec
 
 logger = logging.getLogger(__name__)
+
+
+def _encode_hop_frames(routed: list) -> bytes:
+    """One binary-hop payload from a routed batch.
+
+    Raw update frames (the binary-client fast path) are forwarded as-is;
+    anything materialized (JSONL-client updates, transaction specs) is
+    framed here.
+    """
+    return b"".join(
+        item if isinstance(item, bytes) else encode_frame(item)
+        for item in routed
+    )
 
 #: How long the parent waits for a worker to report its port or result.
 _WORKER_TIMEOUT = 60.0
@@ -104,20 +161,66 @@ def _ignore_signals() -> None:
 def _serve_worker_main(
     conn, config, algorithm, algorithm_kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
+    ring_name=None,
 ):
     """Entry point of one serving shard (runs in a spawned process)."""
     _ignore_signals()
     asyncio.run(
         _serve_worker_async(
             conn, config, algorithm, algorithm_kwargs, index, shards,
-            batch_max, flush_us,
+            batch_max, flush_us, ring_name,
         )
     )
+
+
+#: Ring consumer sleep when the ring is empty.  Long enough to stay off
+#: the CPU the scheduler needs, short enough to stay far under the
+#: paper's millisecond-scale deadlines.
+_RING_POLL = 0.0005
+
+
+async def _consume_ring(ring: SpscRing, runtime: LiveRuntime) -> None:
+    """Drain one shard's update ring into the runtime, forever.
+
+    Each ring entry is one :func:`~repro.workload.codec.encode_frames`
+    blob of updates.  Arrivals are stamped at delivery time exactly like
+    the TCP path (:meth:`IngestServer._dispatch_batch` does the same):
+    the blob's arrival times are in the router's clock domain.
+    """
+    while True:
+        blobs = ring.pop_all()
+        if not blobs:
+            await asyncio.sleep(_RING_POLL)
+            continue
+        now = runtime.clock.now
+        updates: list[Update] = []
+        for blob in blobs:
+            try:
+                records = BinaryCodec.decode(blob)
+            except ValueError as exc:  # pragma: no cover - producer bug
+                logger.error("dropping corrupt ring blob: %s", exc)
+                continue
+            for item in records:
+                if not isinstance(item, Update):
+                    logger.warning(
+                        "non-update record on the ring: %r", type(item)
+                    )
+                    continue
+                delta = now - item.arrival_time
+                if delta > 0:
+                    item.arrival_time = now
+                    item.generation_time += delta
+                updates.append(item)
+        if updates:
+            runtime.ingest_batch(updates)
+        # Yield between drains even under sustained pressure.
+        await asyncio.sleep(0)
 
 
 async def _serve_worker_async(
     conn, config, algorithm, kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
+    ring_name=None,
 ):
     router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
     local_config = shard_config(config, router, index)
@@ -127,14 +230,50 @@ async def _serve_worker_async(
         runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us
     )
     _, port = await server.start()
+    ring = None
+    ring_task = None
+    if ring_name is not None:
+        ring = SpscRing.attach(ring_name)
+        ring_task = asyncio.ensure_future(_consume_ring(ring, runtime))
     conn.send(("ready", port))
     while not conn.poll():
         await asyncio.sleep(0.05)
     message = conn.recv()  # ("stop", drain_timeout)
     drain_timeout = message[1] if len(message) > 1 else 5.0
     await server.stop()
+    if ring_task is not None:
+        # Final drain so updates already published to the ring make the
+        # result, then stop consuming.
+        ring_task.cancel()
+        try:
+            await ring_task
+        except asyncio.CancelledError:
+            pass
+        await _consume_ring_once(ring, runtime)
+        ring.close()
     result = await runtime.shutdown(drain_timeout=drain_timeout)
     conn.send(("result", asdict(result)))
+
+
+async def _consume_ring_once(ring: SpscRing, runtime: LiveRuntime) -> None:
+    """One last non-blocking drain during worker shutdown."""
+    blobs = ring.pop_all()
+    now = runtime.clock.now
+    updates: list[Update] = []
+    for blob in blobs:
+        try:
+            records = BinaryCodec.decode(blob)
+        except ValueError:  # pragma: no cover - producer bug
+            continue
+        for item in records:
+            if isinstance(item, Update):
+                delta = now - item.arrival_time
+                if delta > 0:
+                    item.arrival_time = now
+                    item.generation_time += delta
+                updates.append(item)
+    if updates:
+        runtime.ingest_batch(updates)
 
 
 def _bench_worker_main(
@@ -182,6 +321,12 @@ async def _bench_worker_async(
     generator.stop()
     result = await runtime.shutdown()
     conn.send(("result", asdict(result)))
+
+
+async def _jsonl_record_batches(reader, leftover: bytes):
+    """JSONL sessions as decoded-record batches (the frame-batch dual)."""
+    async for lines in iter_line_batches(reader, initial=leftover):
+        yield decode_lines(lines)
 
 
 async def _pipe_recv(conn, process, timeout=_WORKER_TIMEOUT):
@@ -235,6 +380,13 @@ class WorkerState:
             Anything other than ``up`` sheds routed records.
         restarts: Completed supervisor restarts of this shard.
         shed_shard_down: Records shed because this shard was not up.
+        ring: This shard's update ring (``None`` when ``shm`` is off).
+        ring_enabled: Whether the ring is in service — permanently
+            ``False`` after a worker restart (the fresh process never
+            attaches; see the module docstring).
+        ring_records: Updates delivered through the ring.
+        ring_fallbacks: Update batches diverted to TCP because the ring
+            was full or disabled.
     """
 
     index: int
@@ -244,6 +396,10 @@ class WorkerState:
     status: str = "starting"
     restarts: int = 0
     shed_shard_down: int = 0
+    ring: "SpscRing | None" = None
+    ring_enabled: bool = False
+    ring_records: int = 0
+    ring_fallbacks: int = 0
 
     def liveness(self) -> dict:
         """This worker's row in ``extras["workers"]``."""
@@ -253,6 +409,9 @@ class WorkerState:
             "restarts": self.restarts,
             "shed_shard_down": self.shed_shard_down,
             "port": self.port,
+            "ring": self.ring_enabled,
+            "ring_records": self.ring_records,
+            "ring_fallbacks": self.ring_fallbacks,
         }
 
 
@@ -283,6 +442,15 @@ class ShardCluster:
         shutdown_grace: Extra seconds past ``drain_timeout`` that
             :meth:`shutdown` waits for each worker's final result before
             declaring the shard dead and escalating.
+        wire: Protocol of the internal router→worker hop: ``"binary"``
+            (default — struct frames, no JSON on the hot path) or
+            ``"jsonl"``.  Independent of what clients speak on the
+            public socket (negotiated per session).
+        shm: Carry the update stream over per-shard shared-memory rings
+            (:class:`~repro.live.shm.SpscRing`) instead of loopback TCP;
+            transactions and snapshots stay on TCP.  Requires
+            ``wire="binary"`` (the ring carries binary batch blobs).
+        ring_bytes: Data capacity of each shard's ring.
     """
 
     def __init__(
@@ -301,6 +469,9 @@ class ShardCluster:
         snapshot_timeout: float = 10.0,
         connect_attempts: int = 6,
         shutdown_grace: float = 10.0,
+        wire: str = PROTOCOL_BINARY,
+        shm: bool = False,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardCluster needs >= 2 shards")
@@ -308,6 +479,13 @@ class ShardCluster:
             raise ValueError("sharded serving needs an algorithm name")
         if restart_limit < 0:
             raise ValueError("restart_limit must be >= 0")
+        if wire not in WIRE_PROTOCOLS:
+            raise ValueError(
+                f"unknown wire protocol {wire!r}; expected one of "
+                f"{WIRE_PROTOCOLS}"
+            )
+        if shm and wire != PROTOCOL_BINARY:
+            raise ValueError("shm rings require the binary wire protocol")
         config.validate()
         self.config = config
         self.algorithm = algorithm
@@ -322,6 +500,9 @@ class ShardCluster:
         self.snapshot_timeout = snapshot_timeout
         self.connect_attempts = connect_attempts
         self.shutdown_grace = shutdown_grace
+        self.wire = wire
+        self.shm = shm
+        self.ring_bytes = ring_bytes
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
@@ -364,6 +545,13 @@ class ShardCluster:
 
     def _spawn(self, worker: WorkerState) -> None:
         """(Re)create one shard worker process and its control pipe."""
+        if self.shm and worker.ring is None and worker.restarts == 0:
+            # Short segment names: macOS caps them at 31 chars.
+            worker.ring = SpscRing.create(
+                self.ring_bytes, name=f"rpr{os.getpid()}s{worker.index}"
+            )
+            worker.ring_enabled = True
+        ring_name = worker.ring.name if worker.ring_enabled else None
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_serve_worker_main,
@@ -376,6 +564,7 @@ class ShardCluster:
                 self.shards,
                 self.batch_max,
                 self.flush_us,
+                ring_name,
             ),
             daemon=True,
         )
@@ -415,6 +604,7 @@ class ShardCluster:
             task.add_done_callback(self._restart_tasks.discard)
         else:
             worker.status = "down"
+            worker.ring_enabled = False
             logger.warning(
                 "shard %d worker died (exitcode %s); restart budget exhausted "
                 "— marking down, routed records will be shed",
@@ -432,6 +622,15 @@ class ShardCluster:
             await _reap(worker.process)
             if worker.conn is not None:
                 worker.conn.close()
+            if worker.ring_enabled:
+                # The dead incarnation may have left the ring mid-drain;
+                # a fresh process must not resume from stale cursors.
+                # The shard keeps serving over the TCP fallback.
+                worker.ring_enabled = False
+                logger.warning(
+                    "shard %d ring disabled after worker death; "
+                    "falling back to TCP", worker.index,
+                )
             self._spawn(worker)
             kind, port = await _pipe_recv(worker.conn, worker.process)
             if kind != "ready":  # pragma: no cover - defensive
@@ -522,6 +721,12 @@ class ShardCluster:
                         "without it", worker.index, exc,
                     )
             await _reap(worker.process)
+        for worker in self._workers:
+            if worker.ring is not None:
+                worker.ring.close()
+                worker.ring.unlink()
+                worker.ring = None
+                worker.ring_enabled = False
         if not per_shard:
             raise ShardDownError(
                 "every shard worker died without reporting a result"
@@ -565,6 +770,10 @@ class ShardCluster:
                     w["shard"] for w in workers if w["status"] == "down"
                 ],
                 "merged_shards": list(indices),
+                "wire": self.wire,
+                "shm": self.shm,
+                "ring_records": [w["ring_records"] for w in workers],
+                "ring_fallbacks": [w["ring_fallbacks"] for w in workers],
             },
         )
 
@@ -656,6 +865,11 @@ class ShardCluster:
     async def _handle(self, reader, writer) -> None:
         """One client session: route record batches, pump outcomes back.
 
+        The session's protocol is negotiated from its first bytes, same
+        as a plain :class:`~repro.live.server.IngestServer` session; it
+        is independent of the internal hop's protocol (``self.wire``) —
+        the pumps re-frame replies between the two.
+
         A shard worker dying mid-session never tears the session down:
         its records are shed with typed error replies (see
         :meth:`_shed`) while the other shards keep answering.
@@ -664,10 +878,30 @@ class ShardCluster:
         downstream = CoalescingWriter(
             writer, batch_max=self.batch_max, flush_us=self.flush_us
         )
+        protocol = PROTOCOL_JSONL
         try:
-            async for lines in iter_line_batches(reader):
-                await self._dispatch_batch(lines, downstream, upstreams)
+            protocol, leftover = await negotiate_protocol(reader)
+            if protocol == PROTOCOL_BINARY:
+                # With a binary hop, update frames stay raw end to end:
+                # routed by field peek, forwarded byte-identical (object
+                # id patched), never materialized in the router.
+                batches = iter_frame_batches(
+                    reader, raw_updates=self.wire == PROTOCOL_BINARY
+                )
+            else:
+                batches = _jsonl_record_batches(reader, leftover)
+            async for records in batches:
+                await self._dispatch_batch(
+                    records, downstream, upstreams, protocol
+                )
                 await downstream.backpressure()
+        except WireProtocolError as exc:
+            self.errors += 1
+            logger.warning("wire negotiation failed: %s", exc)
+        except ValueError as exc:
+            # Corrupt binary frame header: no resynchronization point.
+            self.errors += 1
+            logger.warning("binary session corrupt: %s", exc)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -697,41 +931,46 @@ class ShardCluster:
             await up.aclose()
         await downstream.aclose()
 
-    async def _dispatch_batch(self, lines, downstream, upstreams) -> None:
-        """Decode one wire batch, route it, forward per (shard, batch).
+    async def _dispatch_batch(
+        self, records, downstream, upstreams, protocol=PROTOCOL_JSONL
+    ) -> None:
+        """Route one decoded wire batch, forward per (shard, batch).
 
-        A snapshot request flushes the routable records collected so far
+        ``records`` mixes dicts (JSONL lines, JSON frames),
+        already-built :class:`Update` / :class:`TransactionSpec`
+        instances (binary frames), and ``Exception`` entries.  A
+        snapshot request flushes the routable records collected so far
         (so it observes every earlier record on each shard's connection),
-        then answers with the merged fleet snapshot.  A malformed line
+        then answers with the merged fleet snapshot.  A malformed record
         gets its error reply and its neighbors proceed — same per-record
         error semantics as the unbatched path.
         """
-        records = decode_lines(lines)
         items: list = []
         for record in records:
             try:
                 if isinstance(record, Exception):
                     raise record
+                if isinstance(record, (Update, TransactionSpec, bytes)):
+                    items.append(record)  # bytes = raw update frame
+                    continue
                 if isinstance(record, dict) and record.get("kind") == "snapshot":
-                    await self._forward(items, downstream, upstreams)
+                    await self._forward(items, downstream, upstreams, protocol)
                     items = []
                     try:
                         merged = {"kind": "snapshot"}
                         merged.update(asdict(await self.snapshot()))
-                        downstream.write(
-                            json.dumps(merged).encode("utf-8") + b"\n"
-                        )
+                        downstream.write(encode_reply(merged, protocol))
                     except ShardDownError as exc:
                         self.errors += 1
                         downstream.write(
-                            json.dumps(
+                            encode_reply(
                                 {
                                     "kind": "error",
                                     "reason": "shard_down",
                                     "message": str(exc),
-                                }
-                            ).encode("utf-8")
-                            + b"\n"
+                                },
+                                protocol,
+                            )
                         )
                     # Snapshot replies are full fleet results — orders of
                     # magnitude bigger than outcome lines — so they need
@@ -744,37 +983,76 @@ class ShardCluster:
             except (ValueError, KeyError, TypeError) as exc:
                 self.errors += 1
                 self.router.note_routing_error()
-                self._error_reply(downstream, exc)
-        await self._forward(items, downstream, upstreams)
+                self._error_reply(downstream, exc, protocol)
+        await self._forward(items, downstream, upstreams, protocol)
 
-    async def _forward(self, items, downstream, upstreams) -> None:
+    async def _forward(
+        self, items, downstream, upstreams, protocol=PROTOCOL_JSONL
+    ) -> None:
         """Group a decoded batch by shard; one coalesced write per shard.
 
-        Records owned by a shard that is not up — or whose worker dies
-        between the liveness check and the write — are shed, not queued:
-        the client gets one ``shard_down`` error reply per record and the
-        session keeps flowing.
+        With shm rings enabled, each shard's *updates* ride its ring as
+        one binary blob (falling back to TCP when the ring is full or
+        disabled); transactions always go over TCP, whose reply pump
+        carries their outcomes back.  Records owned by a shard that is
+        not up — or whose worker dies between the liveness check and the
+        write — are shed, not queued: the client gets one ``shard_down``
+        error reply per record and the session keeps flowing.
         """
         if not items:
             return
         def on_error(_item, exc):
             self.errors += 1
-            self._error_reply(downstream, exc)
+            self._error_reply(downstream, exc, protocol)
         by_shard = route_batch(self.router, items, on_error=on_error)
+        encode_batch = (
+            _encode_hop_frames if self.wire == PROTOCOL_BINARY else encode_lines
+        )
         for shard, routed in by_shard.items():
             self.records_received += len(routed)
             worker = self._workers[shard]
             if worker.status != "up":
-                self._shed(worker, len(routed), downstream)
+                self._shed(worker, len(routed), downstream, protocol)
                 continue
+            if worker.ring_enabled:
+                routed = self._push_ring(worker, routed)
+                if not routed:
+                    continue
             try:
-                up = await self._upstream(shard, downstream, upstreams)
-                up.write_batch(encode_lines(routed), len(routed))
+                up = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+                up.write_batch(encode_batch(routed), len(routed))
                 await up.backpressure()
             except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
-                self._shed(worker, len(routed), downstream)
+                self._shed(worker, len(routed), downstream, protocol)
 
-    def _shed(self, worker: WorkerState, count: int, downstream) -> None:
+    def _push_ring(self, worker: WorkerState, routed: list) -> list:
+        """Offer a routed batch's updates to the shard's ring.
+
+        Returns the records that still need the TCP path: transactions
+        always, and the updates too when the ring had no room (the
+        fallback; counted per shard).  Updates arrive either as raw
+        frames (binary client, fast path) or :class:`Update` instances
+        (JSONL client); both ride the ring as one frame blob.
+        """
+        updates = [
+            item for item in routed if isinstance(item, (Update, bytes))
+        ]
+        if not updates:
+            return routed
+        rest = [
+            item for item in routed if not isinstance(item, (Update, bytes))
+        ]
+        if worker.ring.push(_encode_hop_frames(updates)):
+            worker.ring_records += len(updates)
+            return rest
+        worker.ring_fallbacks += 1
+        return routed
+
+    def _shed(
+        self, worker: WorkerState, count: int, downstream, protocol
+    ) -> None:
         """Account and reply for records dropped on a down shard.
 
         The cluster analogue of the paper's OSmax drop: the records are
@@ -783,28 +1061,32 @@ class ShardCluster:
         typed outcome instead of a killed session.
         """
         worker.shed_shard_down += count
-        reply = (
-            json.dumps(
-                {"kind": "error", "reason": "shard_down", "shard": worker.index}
-            ).encode("utf-8")
-            + b"\n"
+        reply = encode_reply(
+            {"kind": "error", "reason": "shard_down", "shard": worker.index},
+            protocol,
         )
         for _ in range(count):
             downstream.write(reply)
 
     @staticmethod
-    def _error_reply(downstream: CoalescingWriter, exc: Exception) -> None:
+    def _error_reply(
+        downstream: CoalescingWriter, exc: Exception, protocol
+    ) -> None:
         downstream.write(
-            json.dumps({"kind": "error", "message": str(exc)}).encode("utf-8")
-            + b"\n"
+            encode_reply({"kind": "error", "message": str(exc)}, protocol)
         )
 
-    async def _upstream(self, shard: int, downstream, upstreams) -> CoalescingWriter:
+    async def _upstream(
+        self, shard: int, downstream, upstreams, protocol
+    ) -> CoalescingWriter:
         """This client's connection to one shard, opened on first use.
 
-        A cached connection whose pump has ended or whose transport is
-        closing belongs to a dead (or restarted) worker incarnation; it
-        is discarded and reopened against the worker's *current* port —
+        The connection speaks ``self.wire`` (a binary hop opens with the
+        preamble); its reply pump re-frames worker replies into the
+        *client* session's protocol.  A cached connection whose pump has
+        ended or whose transport is closing belongs to a dead (or
+        restarted) worker incarnation; it is discarded and reopened
+        against the worker's *current* port —
         :func:`~repro.live.wire.connect_with_retry` re-resolves the port
         every attempt, so a restart mid-reconnect still lands.
         """
@@ -821,10 +1103,14 @@ class ShardCluster:
             lambda: self._workers[shard].port,
             attempts=self.connect_attempts,
         )
+        if self.wire == PROTOCOL_BINARY:
+            up_writer.write(WIRE_PREAMBLE)
         up = CoalescingWriter(
             up_writer, batch_max=self.batch_max, flush_us=self.flush_us
         )
-        pump = asyncio.ensure_future(self._pump(up_reader, downstream))
+        pump = asyncio.ensure_future(
+            self._pump(up_reader, downstream, self.wire, protocol)
+        )
         upstreams[shard] = (up, pump)
         return up
 
@@ -838,11 +1124,40 @@ class ShardCluster:
             logger.warning("outcome pump failed: %r", task.exception())
 
     @staticmethod
-    async def _pump(up_reader, downstream: CoalescingWriter) -> None:
-        """Forward worker replies (outcomes) to the client verbatim."""
+    async def _pump(
+        up_reader,
+        downstream: CoalescingWriter,
+        up_protocol: str = PROTOCOL_JSONL,
+        down_protocol: str = PROTOCOL_JSONL,
+    ) -> None:
+        """Forward worker replies (outcomes) to the client.
+
+        Replies are JSON records in both protocols, so crossing protocol
+        boundaries is a pure *re-framing* of the raw bodies — newline to
+        length prefix or back — never a JSON decode/encode round trip.
+        """
         try:
-            async for lines in iter_line_batches(up_reader):
-                downstream.write_batch(b"\n".join(lines) + b"\n", len(lines))
+            if up_protocol == PROTOCOL_BINARY:
+                batches = iter_frame_batches(up_reader, parse_json=False)
+            else:
+                batches = iter_line_batches(up_reader)
+            if up_protocol == down_protocol and up_protocol == PROTOCOL_JSONL:
+                async for lines in batches:
+                    downstream.write_batch(
+                        b"\n".join(lines) + b"\n", len(lines)
+                    )
+                    await downstream.backpressure()
+                return
+            async for bodies in batches:
+                payload = b"".join(
+                    [
+                        frame_reply_body(body, down_protocol)
+                        for body in bodies
+                        if isinstance(body, bytes)
+                    ]
+                )
+                if payload:
+                    downstream.write_batch(payload, len(bodies))
                 await downstream.backpressure()
         except (ConnectionResetError, BrokenPipeError):
             return

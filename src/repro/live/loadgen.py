@@ -38,12 +38,20 @@ from repro.live.wire import (
     DEFAULT_BATCH_MAX,
     DEFAULT_CONNECT_ATTEMPTS,
     DEFAULT_FLUSH_US,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
+    WIRE_PROTOCOLS,
     CoalescingWriter,
     connect_with_retry,
 )
 from repro.sim.events import Event
 from repro.sim.streams import StreamFamily
-from repro.workload.codec import encode_item
+from repro.workload.codec import (
+    WIRE_PREAMBLE,
+    FrameDecoder,
+    encode_frame,
+    encode_item,
+)
 from repro.workload.transactions import TransactionGenerator, TransactionSpec
 from repro.workload.updates import UpdateStreamGenerator
 
@@ -252,11 +260,17 @@ class WireClient:
         host / port: Server address.
         batch_max / flush_us: Coalescing bounds for the write side.
         attempts: Connection attempts per (re)connect before giving up.
-        on_line: Optional callback invoked with every raw reply line.
+        on_line: Optional callback invoked with every raw reply record —
+            the JSON body without framing (no trailing newline in binary
+            sessions; JSONL sessions keep theirs).
+        wire: ``"jsonl"`` (default — interoperates with any server
+            version) or ``"binary"`` (struct frames behind the
+            magic-preamble handshake; every (re)connection re-sends the
+            preamble).
 
     Attributes:
         reconnects: Completed reconnections after a lost connection.
-        lines_received: Reply lines seen across all connections.
+        lines_received: Reply records seen across all connections.
     """
 
     def __init__(
@@ -268,13 +282,20 @@ class WireClient:
         flush_us: float = DEFAULT_FLUSH_US,
         attempts: int = DEFAULT_CONNECT_ATTEMPTS,
         on_line: "Callable[[bytes], None] | None" = None,
+        wire: str = PROTOCOL_JSONL,
     ) -> None:
+        if wire not in WIRE_PROTOCOLS:
+            raise ValueError(
+                f"unknown wire protocol {wire!r}; expected one of "
+                f"{WIRE_PROTOCOLS}"
+            )
         self.host = host
         self.port = port
         self.batch_max = batch_max
         self.flush_us = flush_us
         self.attempts = attempts
         self.on_line = on_line
+        self.wire = wire
         self.reconnects = 0
         self.lines_received = 0
         self._writer: asyncio.StreamWriter | None = None
@@ -305,6 +326,11 @@ class WireClient:
         reader, writer = await connect_with_retry(
             self.host, lambda: self.port, attempts=self.attempts
         )
+        if self.wire == PROTOCOL_BINARY:
+            # The handshake is per *connection*, not per client: a
+            # reconnect lands on a fresh server session that negotiates
+            # from scratch.
+            writer.write(WIRE_PREAMBLE)
         self._writer = writer
         self._out = CoalescingWriter(
             writer, batch_max=self.batch_max, flush_us=self.flush_us
@@ -312,6 +338,21 @@ class WireClient:
         self._reader_task = asyncio.ensure_future(self._read_loop(reader))
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        if self.wire == PROTOCOL_BINARY:
+            # Replies are JSON frame bodies; hand them over unparsed so
+            # on_line sees the same payload a JSONL session would.
+            decoder = FrameDecoder(parse_json=False)
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    return  # EOF: the next send() reconnects
+                for body in decoder.feed(chunk):
+                    if not isinstance(body, bytes):
+                        continue  # a malformed reply frame; skip it
+                    self.lines_received += 1
+                    if self.on_line is not None:
+                        self.on_line(body)
+            return
         while True:
             line = await reader.readline()
             if not line:
@@ -350,10 +391,13 @@ class WireClient:
     # ------------------------------------------------------------------
     async def send(self, item) -> None:
         """Encode and send one update/transaction record."""
-        await self.send_line(encode_item(item).encode("utf-8") + b"\n")
+        if self.wire == PROTOCOL_BINARY:
+            await self.send_line(encode_frame(item))
+        else:
+            await self.send_line(encode_item(item).encode("utf-8") + b"\n")
 
     async def send_line(self, line: bytes) -> None:
-        """Send one pre-encoded, newline-terminated record."""
+        """Send one pre-encoded wire record (a JSONL line or a frame)."""
         await self._ensure_connected()
         self._out.write(line)
 

@@ -1,6 +1,6 @@
-"""Network ingest for the live runtime: JSON lines over TCP.
+"""Network ingest for the live runtime: JSONL or binary frames over TCP.
 
-The wire format is exactly the trace JSONL format
+The founding wire format is exactly the trace JSONL format
 (:mod:`repro.workload.trace`), one record per line:
 
 * ``{"kind": "update", ...}`` — delivered to :meth:`LiveRuntime.ingest`.
@@ -26,12 +26,20 @@ newline-delimited records in one write, so per-record clients interoperate
 unchanged in both directions.  All records in one coalesced batch share a
 single delivery instant (``clock.now`` sampled once per batch) — the
 batch *is* the arrival burst.
+
+Each session additionally **negotiates its protocol** from its first
+bytes (:func:`~repro.live.wire.negotiate_protocol`): a session that opens
+with the :data:`~repro.workload.codec.WIRE_PREAMBLE` magic speaks the
+length-prefixed binary frame format of
+:class:`~repro.workload.codec.BinaryCodec` instead of JSONL — same
+records, same semantics, same reply kinds (replies travel as JSON frame
+bodies), minus the per-record JSON tax.  JSONL and binary sessions coexist
+behind one listening socket.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import logging
 from dataclasses import asdict, replace
 
@@ -39,11 +47,18 @@ from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
     DEFAULT_FLUSH_US,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
     CoalescingWriter,
+    WireProtocolError,
+    encode_reply,
+    iter_frame_batches,
     iter_line_batches,
+    negotiate_protocol,
 )
 from repro.workload.codec import decode_lines, item_from_record
 from repro.db.objects import Update
+from repro.workload.transactions import TransactionSpec
 
 logger = logging.getLogger(__name__)
 
@@ -112,25 +127,53 @@ class IngestServer:
             writer, batch_max=self.batch_max, flush_us=self.flush_us
         )
         try:
-            async for lines in iter_line_batches(reader):
-                self._dispatch_batch(lines, replies)
+            protocol, leftover = await negotiate_protocol(reader)
+            if protocol == PROTOCOL_BINARY:
+                batches = iter_frame_batches(reader)
+            else:
+                batches = self._jsonl_record_batches(reader, leftover)
+            async for records in batches:
+                self._dispatch_batch(records, replies, protocol)
                 # One backpressure point per read batch: ingestion never
                 # outruns a reply reader that has stopped consuming.
                 await replies.backpressure()
+        except WireProtocolError as exc:
+            self.errors += 1
+            logger.warning("wire negotiation failed: %s", exc)
+        except ValueError as exc:
+            # A corrupt binary frame header: past it there is no
+            # resynchronization point, so the one session is closed.
+            self.errors += 1
+            logger.warning("binary session corrupt: %s", exc)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
             await replies.aclose()
 
-    def _dispatch_batch(self, lines: "list[bytes]", replies: CoalescingWriter) -> None:
-        """Decode one wire batch and deliver it in order.
+    @staticmethod
+    async def _jsonl_record_batches(
+        reader: asyncio.StreamReader, leftover: bytes
+    ):
+        """JSONL sessions as decoded-record batches (the frame-batch dual)."""
+        async for lines in iter_line_batches(reader, initial=leftover):
+            yield decode_lines(lines)
 
+    def _dispatch_batch(
+        self,
+        records: list,
+        replies: CoalescingWriter,
+        protocol: str = PROTOCOL_JSONL,
+    ) -> None:
+        """Deliver one decoded wire batch in order.
+
+        ``records`` mixes dicts (JSONL lines, JSON frames), already-built
+        :class:`Update` / :class:`TransactionSpec` instances (binary
+        frames), and ``Exception`` entries for malformed records.
         Consecutive updates within the batch collapse into one
         :meth:`LiveRuntime.ingest_batch` call; a transaction or snapshot
         record flushes the pending updates first, so every record observes
         exactly the runtime state the wire order implies.
         """
-        records = decode_lines(lines)
         runtime = self.runtime
         # The whole batch arrived in one socket read: it shares one
         # delivery instant, exactly like a burst in the paper's stream.
@@ -140,19 +183,26 @@ class IngestServer:
             try:
                 if isinstance(record, Exception):
                     raise record
-                kind = record.get("kind") if isinstance(record, dict) else None
-                if kind == "snapshot":
-                    if updates:
-                        runtime.ingest_batch(updates)
-                        updates.clear()
-                    reply = {"kind": "snapshot"}
-                    reply.update(asdict(runtime.snapshot()))
-                    self._reply(replies, reply)
-                    continue
-                item = item_from_record(record)
+                if isinstance(record, (Update, TransactionSpec)):
+                    item = record
+                else:
+                    kind = (
+                        record.get("kind") if isinstance(record, dict) else None
+                    )
+                    if kind == "snapshot":
+                        if updates:
+                            runtime.ingest_batch(updates)
+                            updates.clear()
+                        reply = {"kind": "snapshot"}
+                        reply.update(asdict(runtime.snapshot()))
+                        self._reply(replies, reply, protocol)
+                        continue
+                    item = item_from_record(record)
             except (ValueError, KeyError, TypeError) as exc:
                 self.errors += 1
-                self._reply(replies, {"kind": "error", "message": str(exc)})
+                self._reply(
+                    replies, {"kind": "error", "message": str(exc)}, protocol
+                )
                 continue
             self.records_received += 1
             if isinstance(item, Update):
@@ -170,7 +220,9 @@ class IngestServer:
                     runtime.ingest_batch(updates)
                     updates.clear()
                 handle = runtime.submit(replace(item, arrival_time=now))
-                task = asyncio.ensure_future(self._write_outcome(handle, replies))
+                task = asyncio.ensure_future(
+                    self._write_outcome(handle, replies, protocol)
+                )
                 self._outcome_tasks.add(task)
                 task.add_done_callback(self._retire_outcome_task)
         if updates:
@@ -192,7 +244,10 @@ class IngestServer:
             logger.warning("outcome writer failed: %r", exc)
 
     async def _write_outcome(
-        self, handle: TransactionHandle, replies: CoalescingWriter
+        self,
+        handle: TransactionHandle,
+        replies: CoalescingWriter,
+        protocol: str = PROTOCOL_JSONL,
     ) -> None:
         outcome = await handle.wait()
         self._reply(
@@ -204,8 +259,13 @@ class IngestServer:
                 "read_stale": handle.read_stale,
                 "finish_time": handle.finish_time,
             },
+            protocol,
         )
 
     @staticmethod
-    def _reply(replies: CoalescingWriter, record: dict) -> None:
-        replies.write(json.dumps(record).encode("utf-8") + b"\n")
+    def _reply(
+        replies: CoalescingWriter,
+        record: dict,
+        protocol: str = PROTOCOL_JSONL,
+    ) -> None:
+        replies.write(encode_reply(record, protocol))

@@ -1,0 +1,245 @@
+"""Shared-memory SPSC rings: the zero-copy router→worker hop.
+
+The sharded cluster's data plane originally crossed the process boundary
+over loopback TCP — every routed batch paid a socket write, a kernel
+copy, a wakeup, and a socket read, per hop.  For the *fire-and-forget*
+update stream none of that buys anything: there is no reply, no
+backpressure contract beyond "drop and account", and exactly one
+producer (the router) and one consumer (the shard worker).  That is the
+textbook case for a single-producer/single-consumer ring buffer in
+shared memory, which this module provides on top of
+:mod:`multiprocessing.shared_memory`.
+
+Layout of one ring (all little-endian)::
+
+    [0:8)    head  — consumer cursor, free-running byte offset
+    [8:16)   tail  — producer cursor, free-running byte offset
+    [16:16+capacity)  data region, entries wrap byte-wise
+
+One entry is a 4-byte length prefix followed by the payload (for the
+cluster: one :class:`~repro.workload.codec.BinaryCodec` batch blob).
+Cursors are free-running ``uint64`` — they never wrap in any realistic
+run (2^64 bytes), so ``tail - head`` is always the exact number of
+unconsumed bytes and the empty/full ambiguity of modular rings never
+arises.
+
+Ordering contract: the producer writes the entry bytes *before*
+publishing the new ``tail``; the consumer reads ``tail`` before the
+entry bytes, and publishes ``head`` only after it has copied them out.
+Each cursor has exactly one writer, and an aligned 8-byte store is not
+torn on the platforms CPython runs on, so no lock is needed.  (On
+weakly-ordered ISAs the interpreter's own synchronization on every
+bytecode boundary supplies more than enough fencing for this traffic.)
+
+A full ring is not an error: :meth:`SpscRing.push` returns ``False`` and
+the cluster falls back to the TCP path for that batch — the ring is an
+opportunistic fast lane, TCP remains the reliable road.
+
+``multiprocessing.resource_tracker`` quirk: attaching to an existing
+segment *registers* it with the attaching process's tracker (fixed only
+in Python 3.13's ``track=False``), so a worker exiting would unlink a
+ring the router still owns.  :meth:`SpscRing.attach` unregisters the
+segment from the tracker; lifetime stays with the creator.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+_CURSOR = struct.Struct("<Q")
+_LENGTH = struct.Struct("<I")
+
+#: Byte offset of each cursor in the header.
+_HEAD_AT = 0
+_TAIL_AT = 8
+
+#: Header size; the data region starts here.
+HEADER_SIZE = 16
+
+#: Default data-region capacity of one ring (per shard).
+DEFAULT_RING_BYTES = 1 << 20
+
+
+class SpscRing:
+    """One single-producer/single-consumer byte ring in shared memory.
+
+    Construct through :meth:`create` (producer side, owns the segment)
+    or :meth:`attach` (consumer side).  Exactly one process may call
+    :meth:`push` and exactly one may call :meth:`pop_all`; nothing
+    enforces this — it is the SPSC contract.
+
+    Attributes:
+        pushed / popped: Entries moved through this handle.
+        rejected: Pushes refused because the ring was full.
+    """
+
+    __slots__ = (
+        "_shm", "_buf", "_capacity", "_owner",
+        "_head_cache", "_tail_cache",
+        "pushed", "popped", "rejected",
+    )
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, *, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self._capacity = shm.size - HEADER_SIZE
+        self._owner = owner
+        self._head_cache = _CURSOR.unpack_from(self._buf, _HEAD_AT)[0]
+        self._tail_cache = _CURSOR.unpack_from(self._buf, _TAIL_AT)[0]
+        self.pushed = 0
+        self.popped = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, capacity: int = DEFAULT_RING_BYTES, name: "str | None" = None
+    ) -> "SpscRing":
+        """Allocate a fresh ring segment (this handle owns and unlinks it)."""
+        if capacity < 64:
+            raise ValueError(f"ring capacity {capacity} is too small")
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=HEADER_SIZE + capacity
+        )
+        shm.buf[:HEADER_SIZE] = b"\x00" * HEADER_SIZE
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SpscRing":
+        """Open an existing ring by name (does not take ownership)."""
+        shm = shared_memory.SharedMemory(name=name)
+        try:  # keep this process's tracker from unlinking the owner's ring
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The segment name a consumer attaches by."""
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        """Data-region bytes (max backlog the ring can hold)."""
+        return self._capacity
+
+    @property
+    def backlog(self) -> int:
+        """Unconsumed bytes currently in the ring (approximate: racy read)."""
+        head = _CURSOR.unpack_from(self._buf, _HEAD_AT)[0]
+        tail = _CURSOR.unpack_from(self._buf, _TAIL_AT)[0]
+        return tail - head
+
+    def close(self) -> None:
+        """Drop this handle's mapping (the segment survives if owned)."""
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after every peer closed)."""
+        if not self._owner:
+            return
+        try:
+            # Spawn children share the parent's tracker process, so the
+            # consumer's attach-time unregister may have removed *this*
+            # registration; re-adding it (tracker cache is a set — a
+            # dedup no-op otherwise) keeps ``shm.unlink``'s own
+            # unregister from logging a KeyError in the tracker.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        self._shm.unlink()
+
+    # ------------------------------------------------------------------
+    # Byte-wise wraparound I/O
+    # ------------------------------------------------------------------
+    def _write_at(self, position: int, data: bytes) -> None:
+        cap = self._capacity
+        start = position % cap
+        end = start + len(data)
+        buf = self._buf
+        if end <= cap:
+            buf[HEADER_SIZE + start: HEADER_SIZE + end] = data
+        else:
+            split = cap - start
+            buf[HEADER_SIZE + start: HEADER_SIZE + cap] = data[:split]
+            buf[HEADER_SIZE: HEADER_SIZE + end - cap] = data[split:]
+
+    def _read_at(self, position: int, length: int) -> bytes:
+        cap = self._capacity
+        start = position % cap
+        end = start + length
+        buf = self._buf
+        if end <= cap:
+            return bytes(buf[HEADER_SIZE + start: HEADER_SIZE + end])
+        split = cap - start
+        return bytes(buf[HEADER_SIZE + start: HEADER_SIZE + cap]) + bytes(
+            buf[HEADER_SIZE: HEADER_SIZE + end - cap]
+        )
+
+    # ------------------------------------------------------------------
+    # Producer / consumer
+    # ------------------------------------------------------------------
+    def push(self, payload: bytes) -> bool:
+        """Append one entry; ``False`` (and no partial write) when full.
+
+        Raises:
+            ValueError: when the entry could never fit an empty ring —
+                that is a sizing bug, not transient pressure.
+        """
+        need = _LENGTH.size + len(payload)
+        if need > self._capacity:
+            raise ValueError(
+                f"entry of {len(payload)} bytes exceeds ring capacity "
+                f"{self._capacity}"
+            )
+        head = _CURSOR.unpack_from(self._buf, _HEAD_AT)[0]
+        tail = self._tail_cache
+        if self._capacity - (tail - head) < need:
+            self.rejected += 1
+            return False
+        self._write_at(tail, _LENGTH.pack(len(payload)))
+        self._write_at(tail + _LENGTH.size, payload)
+        tail += need
+        # Publish *after* the entry bytes are in place.
+        _CURSOR.pack_into(self._buf, _TAIL_AT, tail)
+        self._tail_cache = tail
+        self.pushed += 1
+        return True
+
+    def pop_all(self) -> "list[bytes]":
+        """Drain every complete entry currently published, in push order.
+
+        Raises:
+            ValueError: on a corrupt length prefix (longer than the ring)
+                — the SPSC contract was broken, the ring is unusable.
+        """
+        tail = _CURSOR.unpack_from(self._buf, _TAIL_AT)[0]
+        head = self._head_cache
+        if head == tail:
+            return []
+        out: list[bytes] = []
+        while head != tail:
+            (length,) = _LENGTH.unpack(self._read_at(head, _LENGTH.size))
+            if _LENGTH.size + length > self._capacity:
+                raise ValueError(
+                    f"ring entry declares {length} bytes "
+                    f"(capacity {self._capacity}); ring is corrupt"
+                )
+            out.append(self._read_at(head + _LENGTH.size, length))
+            head += _LENGTH.size + length
+        # Free the space only after the copies out are complete.
+        _CURSOR.pack_into(self._buf, _HEAD_AT, head)
+        self._head_cache = head
+        self.popped += len(out)
+        return out

@@ -23,13 +23,35 @@ interoperates with a coalescing one in either direction.
 :func:`connect_with_retry` is the shared connection primitive for peers
 that must survive a restarting endpoint (exponential backoff + jitter,
 bounded attempts, per-attempt timeout) — see ``docs/RESILIENCE.md``.
+
+Since PR 6 the wire speaks **two protocols** behind one socket:
+
+* ``jsonl`` — the original newline-delimited JSON records;
+* ``binary`` — length-prefixed ``struct``-packed frames
+  (:class:`repro.workload.codec.BinaryCodec`), selected by a 5-byte
+  magic+version preamble as the first bytes of a session.
+
+:func:`negotiate_protocol` is the server side of that handshake: it
+peeks one byte, and a byte that cannot start a JSONL line selects the
+binary decoder for the rest of the session.  JSONL clients, recorded
+traces, and old load generators interoperate unchanged — they simply
+never send the magic.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 from typing import Callable
+
+from repro.workload.codec import (
+    WIRE_MAGIC,
+    WIRE_PREAMBLE,
+    WIRE_SCHEMA_VERSION,
+    FrameDecoder,
+    encode_json_frame,
+)
 
 #: Records buffered before a size-triggered flush.  Chosen by the sweep in
 #: docs/PERFORMANCE.md ("The wire fast path"): throughput is flat past
@@ -58,6 +80,84 @@ DEFAULT_CONNECT_TIMEOUT = 5.0
 #: Backoff jitter draws come from a private RNG so retry timing never
 #: perturbs the module-level `random` state the workload draws depend on.
 _BACKOFF_RNG = random.Random()
+
+#: Wire protocol names, as accepted by ``--wire`` and the client/cluster
+#: constructors.  ``jsonl`` is the founding newline-delimited protocol;
+#: ``binary`` is the struct-framed fast path.
+PROTOCOL_JSONL = "jsonl"
+PROTOCOL_BINARY = "binary"
+WIRE_PROTOCOLS = (PROTOCOL_JSONL, PROTOCOL_BINARY)
+
+
+class WireProtocolError(ConnectionError):
+    """A peer opened a session this endpoint cannot speak.
+
+    Raised by :func:`negotiate_protocol` for a truncated preamble or an
+    unsupported binary schema version.  Typed so servers can close the
+    one session instead of treating it as an internal failure.
+    """
+
+
+async def negotiate_protocol(
+    reader: asyncio.StreamReader,
+) -> "tuple[str, bytes]":
+    """Server-side protocol selection from the first bytes of a session.
+
+    Reads exactly one byte.  The binary magic's first byte (0xB7) is not
+    valid UTF-8 and can never begin a JSONL record, so one byte decides:
+
+    * magic byte → read and verify the rest of the 5-byte preamble,
+      return ``(PROTOCOL_BINARY, b"")``;
+    * anything else → the byte belongs to the client's first JSONL line,
+      return ``(PROTOCOL_JSONL, that_byte)`` for the caller to prepend;
+    * immediate EOF → an empty JSONL session (nothing to prepend).
+
+    Raises:
+        WireProtocolError: truncated preamble or unsupported version.
+    """
+    first = await reader.read(1)
+    if not first:
+        return PROTOCOL_JSONL, b""
+    if first != WIRE_MAGIC[:1]:
+        return PROTOCOL_JSONL, first
+    try:
+        rest = await reader.readexactly(len(WIRE_PREAMBLE) - 1)
+    except asyncio.IncompleteReadError as exc:
+        raise WireProtocolError(
+            "peer closed mid-preamble of a binary session"
+        ) from exc
+    preamble = first + rest
+    if preamble[:-1] != WIRE_MAGIC:
+        raise WireProtocolError(
+            f"bad binary wire magic: {preamble[:-1]!r}"
+        )
+    version = preamble[-1]
+    if version != WIRE_SCHEMA_VERSION:
+        raise WireProtocolError(
+            f"unsupported binary wire schema version {version} "
+            f"(this endpoint speaks {WIRE_SCHEMA_VERSION})"
+        )
+    return PROTOCOL_BINARY, b""
+
+
+def encode_reply(record: dict, protocol: str) -> bytes:
+    """One reply record (outcome/error/snapshot) in a session's protocol.
+
+    Reply records are JSON in *both* protocols — replies are orders of
+    magnitude rarer than stream records, so the binary protocol spends
+    its frames where they pay and carries replies as JSON frame bodies.
+    """
+    payload = json.dumps(record).encode("utf-8")
+    if protocol == PROTOCOL_BINARY:
+        return encode_json_frame(payload)
+    return payload + b"\n"
+
+
+def frame_reply_body(body: bytes, protocol: str) -> bytes:
+    """Re-frame one raw JSON reply body without re-encoding it."""
+    if protocol == PROTOCOL_BINARY:
+        return encode_json_frame(body)
+    return body + b"\n"
 
 
 async def connect_with_retry(
@@ -249,7 +349,12 @@ class CoalescingWriter:
             pass
 
 
-async def iter_line_batches(reader: asyncio.StreamReader, *, chunk_size: int = READ_CHUNK):
+async def iter_line_batches(
+    reader: asyncio.StreamReader,
+    *,
+    chunk_size: int = READ_CHUNK,
+    initial: bytes = b"",
+):
     """Yield every complete line available per socket wakeup.
 
     Each yielded batch is a list of stripped, non-empty line payloads (no
@@ -258,8 +363,18 @@ async def iter_line_batches(reader: asyncio.StreamReader, *, chunk_size: int = R
     the kernel buffered since the last read comes back as one batch for
     one batched decode.  A trailing unterminated line at EOF is yielded
     on its own, matching ``readline``'s end-of-stream behavior.
+
+    Args:
+        initial: Bytes already read off the socket (the byte the
+            protocol negotiation peeked), treated as the head of the
+            first chunk.
     """
-    pending = b""
+    pending = initial
+    if b"\n" in pending:
+        *lines, pending = pending.split(b"\n")
+        batch = [stripped for line in lines if (stripped := line.strip())]
+        if batch:
+            yield batch
     while True:
         chunk = await reader.read(chunk_size)
         if not chunk:
@@ -274,3 +389,40 @@ async def iter_line_batches(reader: asyncio.StreamReader, *, chunk_size: int = R
         batch = [stripped for line in lines if (stripped := line.strip())]
         if batch:
             yield batch
+
+
+async def iter_frame_batches(
+    reader: asyncio.StreamReader,
+    *,
+    chunk_size: int = READ_CHUNK,
+    parse_json: bool = True,
+    raw_updates: bool = False,
+):
+    """Binary dual of :func:`iter_line_batches`: decoded frames per wakeup.
+
+    Yields lists of decoded records — :class:`~repro.db.objects.Update` /
+    :class:`~repro.workload.transactions.TransactionSpec` instances,
+    dicts (JSON frames), raw update-frame bytes (``raw_updates=True``,
+    the router's zero-materialization path), or ``ValueError`` entries
+    for malformed frame bodies — in wire order.  Framing *and* decoding happen in one pass
+    here (the length prefixes delimit records, there is no separate
+    "split" step), which is exactly the per-record tax the binary
+    protocol removes.  A partial frame at EOF is surfaced as one
+    ``ValueError`` batch, mirroring the unterminated-line behavior.
+
+    A corrupt frame *header* propagates as ``ValueError`` — the session
+    cannot be resynchronized and the caller should close it.
+    """
+    decoder = FrameDecoder(parse_json=parse_json, raw_updates=raw_updates)
+    while True:
+        chunk = await reader.read(chunk_size)
+        if not chunk:
+            if decoder.pending_bytes:
+                yield [ValueError(
+                    f"session ended mid-frame ({decoder.pending_bytes} "
+                    "trailing bytes)"
+                )]
+            return
+        records = decoder.feed(chunk)
+        if records:
+            yield records

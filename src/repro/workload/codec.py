@@ -26,11 +26,21 @@ this module removes:
 Shared by :func:`repro.workload.trace.save_trace`, the live
 :class:`~repro.live.server.IngestServer`, and the
 :class:`~repro.live.cluster.ShardCluster` router.
+
+Alongside the JSONL functions lives :class:`BinaryCodec`: a
+length-prefixed, ``struct``-packed binary frame format for the same two
+fixed wire schemas.  A binary session starts with a 5-byte preamble
+(magic + schema version) that can never begin a JSONL session, so the
+two protocols negotiate per connection (see :mod:`repro.live.wire`) and
+interoperate behind one server socket.  Every field round-trips
+bit-exactly — IEEE-754 doubles travel as themselves instead of through
+``repr``/``float()`` — which the parity suite asserts field by field.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import Iterable
 
 from repro.db.objects import ObjectClass, Update
@@ -162,3 +172,315 @@ def item_from_record(record):
     if kind == "transaction":
         return spec_from_record(record)
     raise ValueError(f"unknown trace record kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Binary wire format
+# ----------------------------------------------------------------------
+#: First bytes of a binary session.  0xB7 is not valid UTF-8 and no JSONL
+#: record line can start with it, so one peeked byte tells the two
+#: protocols apart (see repro.live.wire.negotiate_protocol).
+WIRE_MAGIC = b"\xb7RBW"
+
+#: Bumped when a frame layout changes; a server refuses a preamble whose
+#: version it does not speak, so a stale peer fails fast and typed instead
+#: of desynchronizing mid-stream.
+WIRE_SCHEMA_VERSION = 1
+
+#: What a binary client writes before its first frame: magic + version.
+WIRE_PREAMBLE = WIRE_MAGIC + bytes([WIRE_SCHEMA_VERSION])
+
+#: Frame tags.  TAG_JSON carries one UTF-8 JSON record (snapshot requests,
+#: outcome/error/snapshot replies) so everything that is not on the two
+#: hot fixed schemas still crosses a binary session unchanged.
+TAG_UPDATE = 0x01
+TAG_SPEC = 0x02
+TAG_JSON = 0x1F
+
+#: Frame header: tag byte + little-endian uint32 body length.
+FRAME_HEADER = struct.Struct("<BI")
+
+#: Update body: seq, klass code, object_id, value, generation_time,
+#: arrival_time, partial flag, attribute.
+_UPDATE_BODY = struct.Struct("<qBqdddBi")
+
+#: Spec body head: seq, arrival_time, high_value flag, value,
+#: compute_time, slack, read count — followed by ``count`` int64 reads.
+_SPEC_HEAD = struct.Struct("<qdBdddI")
+
+#: A frame body longer than this means a corrupt or hostile header; the
+#: stream cannot be resynchronized, so the decoder raises (session-fatal).
+MAX_FRAME_BODY = 16 * 1024 * 1024
+
+#: Stable klass <-> wire code tables (pinned by the codec tests; the enum
+#: definition order is not part of the wire contract, this table is).
+CLASS_CODES = {
+    ObjectClass.VIEW_LOW: 0,
+    ObjectClass.VIEW_HIGH: 1,
+    ObjectClass.GENERAL: 2,
+}
+CLASS_BY_CODE = {code: klass for klass, code in CLASS_CODES.items()}
+
+#: The routing fields of an update body — klass code + object id — sit at
+#: a fixed offset (past the 8-byte seq), so a router can resolve a raw
+#: frame's shard without materializing an :class:`Update`.
+_UPDATE_ROUTE = struct.Struct("<Bq")
+_UPDATE_ROUTE_AT = FRAME_HEADER.size + 8
+_UPDATE_OBJECT_ID_AT = _UPDATE_ROUTE_AT + 1
+
+
+def peek_update_route(frame: bytes) -> "tuple[ObjectClass, int]":
+    """(klass, global object id) of a raw update frame, without decoding.
+
+    Raises:
+        ValueError: unknown klass code (the frame would not decode either).
+    """
+    klass_code, object_id = _UPDATE_ROUTE.unpack_from(frame, _UPDATE_ROUTE_AT)
+    klass = CLASS_BY_CODE.get(klass_code)
+    if klass is None:
+        raise ValueError(f"unknown klass code {klass_code} in update frame")
+    return klass, object_id
+
+
+def reroute_update_frame(frame: bytes, local_id: int) -> bytes:
+    """The same update frame with its object id rewritten to ``local_id``.
+
+    This is the router's whole per-update transform: every other field —
+    seq, value, times, partial/attribute — is forwarded byte-identical to
+    what the client sent.
+    """
+    patched = bytearray(frame)
+    struct.pack_into("<q", patched, _UPDATE_OBJECT_ID_AT, local_id)
+    return bytes(patched)
+
+
+def encode_update_frame(update: Update) -> bytes:
+    """One update as a length-prefixed binary frame."""
+    body = _UPDATE_BODY.pack(
+        update.seq,
+        CLASS_CODES[update.klass],
+        update.object_id,
+        update.value,
+        update.generation_time,
+        update.arrival_time,
+        1 if update.partial else 0,
+        update.attribute,
+    )
+    return FRAME_HEADER.pack(TAG_UPDATE, len(body)) + body
+
+
+def encode_spec_frame(spec: TransactionSpec) -> bytes:
+    """One transaction spec as a length-prefixed binary frame."""
+    reads = spec.reads
+    body = _SPEC_HEAD.pack(
+        spec.seq,
+        spec.arrival_time,
+        1 if spec.high_value else 0,
+        spec.value,
+        spec.compute_time,
+        spec.slack,
+        len(reads),
+    ) + struct.pack(f"<{len(reads)}q", *reads)
+    return FRAME_HEADER.pack(TAG_SPEC, len(body)) + body
+
+
+def encode_json_frame(payload: bytes) -> bytes:
+    """Wrap one pre-encoded JSON record (no newline) in a binary frame."""
+    return FRAME_HEADER.pack(TAG_JSON, len(payload)) + payload
+
+
+def encode_frame(item) -> bytes:
+    """Serialize an update or transaction spec as one binary frame."""
+    if isinstance(item, Update):
+        return encode_update_frame(item)
+    if isinstance(item, TransactionSpec):
+        return encode_spec_frame(item)
+    raise TypeError(f"cannot serialize {type(item).__name__} onto the wire")
+
+
+def encode_frames(items: Iterable) -> bytes:
+    """A batch of items as one contiguous binary payload.
+
+    Exactly the concatenation of the records' individual frames — the
+    binary analogue of :func:`encode_lines`: a batch on the wire is
+    indistinguishable from the same frames written one at a time.
+    """
+    out = []
+    append = out.append
+    for item in items:
+        if isinstance(item, Update):
+            append(encode_update_frame(item))
+        elif isinstance(item, TransactionSpec):
+            append(encode_spec_frame(item))
+        else:
+            raise TypeError(
+                f"cannot serialize {type(item).__name__} onto the wire"
+            )
+    return b"".join(out)
+
+
+def _update_from_body(body) -> Update:
+    (seq, klass_code, object_id, value, generation_time, arrival_time,
+     partial, attribute) = _UPDATE_BODY.unpack(body)
+    return Update(
+        seq=seq,
+        klass=CLASS_BY_CODE[klass_code],
+        object_id=object_id,
+        value=value,
+        generation_time=generation_time,
+        arrival_time=arrival_time,
+        partial=bool(partial),
+        attribute=attribute,
+    )
+
+
+def _spec_from_body(body) -> TransactionSpec:
+    (seq, arrival_time, high_value, value, compute_time, slack,
+     count) = _SPEC_HEAD.unpack_from(body, 0)
+    expected = _SPEC_HEAD.size + 8 * count
+    if len(body) != expected:
+        raise ValueError(
+            f"spec frame declares {count} reads but carries "
+            f"{len(body) - _SPEC_HEAD.size} read bytes"
+        )
+    reads = struct.unpack_from(f"<{count}q", body, _SPEC_HEAD.size)
+    return TransactionSpec(
+        seq=seq,
+        arrival_time=arrival_time,
+        high_value=bool(high_value),
+        value=value,
+        compute_time=compute_time,
+        reads=tuple(reads),
+        slack=slack,
+    )
+
+
+class FrameDecoder:
+    """Incremental decoder for a binary frame stream.
+
+    Feed it arbitrary byte chunks as they arrive; it returns every record
+    completed by the chunk and buffers the partial tail frame for the
+    next feed — the binary analogue of line reassembly.  A malformed
+    frame *body* comes back as a ``ValueError`` entry in the batch (its
+    length prefix still delimits it, so neighbors keep decoding, same
+    error isolation as :func:`decode_lines`); a malformed *header* —
+    unknown tag with an absurd length — raises, because past a broken
+    header there is no resynchronization point.
+
+    Args:
+        parse_json: Parse TAG_JSON bodies into dicts (the ingest
+            direction).  ``False`` returns the raw JSON bytes instead —
+            reply pumps re-frame them without a decode/encode round trip.
+        raw_updates: Return well-formed update frames as their raw bytes
+            (header included) instead of :class:`Update` instances — the
+            router's fast path, which routes via :func:`peek_update_route`
+            and forwards the frame without ever building the object.
+            Specs and JSON frames are unaffected.
+    """
+
+    __slots__ = ("_buffer", "_parse_json", "_raw_updates")
+
+    def __init__(
+        self, *, parse_json: bool = True, raw_updates: bool = False
+    ) -> None:
+        self._buffer = bytearray()
+        self._parse_json = parse_json
+        self._raw_updates = raw_updates
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of an incomplete tail frame awaiting the next feed."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list:
+        """Consume one chunk; return the records it completed, in order."""
+        buffer = self._buffer
+        buffer += data
+        header_size = FRAME_HEADER.size
+        if len(buffer) < header_size:
+            return []
+        out: list = []
+        view = memoryview(buffer)
+        offset = 0
+        total = len(buffer)
+        unpack_header = FRAME_HEADER.unpack_from
+        while total - offset >= header_size:
+            tag, length = unpack_header(view, offset)
+            if length > MAX_FRAME_BODY:
+                view.release()
+                del buffer[:]
+                raise ValueError(
+                    f"binary frame header declares {length} body bytes "
+                    f"(tag {tag:#x}); stream is corrupt"
+                )
+            if total - offset - header_size < length:
+                break  # partial tail frame: wait for the next feed
+            start = offset + header_size
+            end = start + length
+            try:
+                if tag == TAG_UPDATE:
+                    if self._raw_updates:
+                        if length != _UPDATE_BODY.size:
+                            raise ValueError(
+                                f"update frame body is {length} bytes, "
+                                f"expected {_UPDATE_BODY.size}"
+                            )
+                        out.append(bytes(view[offset:end]))
+                    else:
+                        out.append(_update_from_body(view[start:end]))
+                elif tag == TAG_SPEC:
+                    out.append(_spec_from_body(view[start:end]))
+                elif tag == TAG_JSON:
+                    payload = bytes(view[start:end])
+                    out.append(
+                        json.loads(payload) if self._parse_json else payload
+                    )
+                else:
+                    raise ValueError(f"unknown binary frame tag {tag:#x}")
+            except (ValueError, KeyError, struct.error) as exc:
+                # Rebuild rather than keep `exc`: its traceback pins a
+                # memoryview over the buffer we are about to compact.
+                out.append(ValueError(str(exc)))
+            offset = end
+        view.release()
+        del buffer[:offset]
+        return out
+
+
+class BinaryCodec:
+    """The binary wire codec, bundled: magic, version, encode, decode.
+
+    The module-level functions are the hot path (no attribute hops); this
+    class is the discoverable front door and the unit the negotiation
+    layer versions against.
+    """
+
+    MAGIC = WIRE_MAGIC
+    VERSION = WIRE_SCHEMA_VERSION
+    PREAMBLE = WIRE_PREAMBLE
+
+    encode_item = staticmethod(encode_frame)
+    encode_batch = staticmethod(encode_frames)
+    encode_json = staticmethod(encode_json_frame)
+
+    @staticmethod
+    def decoder(*, parse_json: bool = True) -> FrameDecoder:
+        """A fresh incremental decoder for one session."""
+        return FrameDecoder(parse_json=parse_json)
+
+    @staticmethod
+    def decode(payload: bytes) -> list:
+        """Decode one complete payload (tests, ring blobs, traces).
+
+        Raises:
+            ValueError: when the payload ends mid-frame — a complete
+                payload that does not parse completely is corrupt.
+        """
+        decoder = FrameDecoder()
+        records = decoder.feed(payload)
+        if decoder.pending_bytes:
+            raise ValueError(
+                f"payload ends mid-frame ({decoder.pending_bytes} "
+                "trailing bytes)"
+            )
+        return records

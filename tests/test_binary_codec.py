@@ -1,0 +1,256 @@
+"""Tests for the binary wire codec: frames, bit-exactness, versioning.
+
+The contracts that make the binary protocol a safe peer of JSONL:
+
+* Every schema field round-trips **bit-exactly** — floats travel as
+  IEEE-754 doubles, not through ``repr``/``float()`` — including the
+  schema edge cases (partial updates, empty read sets).
+* The magic, schema version, frame tags, and klass code table are
+  *pinned*: they are the wire contract, not implementation detail.
+* :class:`FrameDecoder` reassembles frames across arbitrary chunk
+  boundaries and isolates malformed frame bodies exactly like
+  :func:`decode_lines` isolates malformed lines.
+"""
+
+import struct
+
+import pytest
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass, Update
+from repro.sim.streams import StreamFamily
+from repro.workload.codec import (
+    CLASS_CODES,
+    FRAME_HEADER,
+    MAX_FRAME_BODY,
+    TAG_JSON,
+    TAG_SPEC,
+    TAG_UPDATE,
+    WIRE_MAGIC,
+    WIRE_PREAMBLE,
+    WIRE_SCHEMA_VERSION,
+    BinaryCodec,
+    FrameDecoder,
+    encode_frame,
+    encode_frames,
+    encode_json_frame,
+)
+from repro.workload.trace import item_to_dict
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+
+
+def _drawn_items(seed=424242, rate=300.0, duration=3.0, partial=0.3):
+    config = baseline_config(duration=duration, seed=seed)
+    config.warmup = 0.0
+    config = config.with_updates(
+        arrival_rate=rate, partial_probability=partial
+    )
+    config = config.with_transactions(arrival_rate=20.0)
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    items = []
+    t = update_gen.next_interarrival()
+    while t < config.duration:
+        items.append(update_gen.draw_update(t))
+        t += update_gen.next_interarrival()
+    t = txn_gen.next_interarrival()
+    while t < config.duration:
+        items.append(txn_gen.draw_spec(t))
+        t += txn_gen.next_interarrival()
+    return items
+
+
+def _bits(x: float) -> bytes:
+    """The exact 8 bytes of a double — equality means bit-exactness."""
+    return struct.pack("<d", x)
+
+
+# ----------------------------------------------------------------------
+# Wire contract pins
+# ----------------------------------------------------------------------
+def test_wire_contract_is_pinned():
+    """Magic, version, tags, and klass codes are the protocol; changing
+    any of them must be a deliberate schema-version bump."""
+    assert WIRE_MAGIC == b"\xb7RBW"
+    assert WIRE_SCHEMA_VERSION == 1
+    assert WIRE_PREAMBLE == b"\xb7RBW\x01"
+    assert (TAG_UPDATE, TAG_SPEC, TAG_JSON) == (0x01, 0x02, 0x1F)
+    assert CLASS_CODES == {
+        ObjectClass.VIEW_LOW: 0,
+        ObjectClass.VIEW_HIGH: 1,
+        ObjectClass.GENERAL: 2,
+    }
+    assert BinaryCodec.MAGIC == WIRE_MAGIC
+    assert BinaryCodec.VERSION == WIRE_SCHEMA_VERSION
+    assert BinaryCodec.PREAMBLE == WIRE_PREAMBLE
+
+
+def test_magic_first_byte_cannot_start_a_jsonl_line():
+    """The negotiation hinges on 0xB7 being invalid UTF-8: no JSONL
+    record can ever begin with it."""
+    with pytest.raises(UnicodeDecodeError):
+        WIRE_MAGIC[:1].decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+def test_drawn_workload_round_trips_bit_exactly():
+    items = _drawn_items()
+    assert len(items) > 500
+    assert any(isinstance(i, Update) and i.partial for i in items)
+    rebuilt = BinaryCodec.decode(encode_frames(items))
+    assert len(rebuilt) == len(items)
+    for a, b in zip(items, rebuilt):
+        assert type(a) is type(b)
+        da, db = item_to_dict(a), item_to_dict(b)
+        assert da.keys() == db.keys()
+        for key, va in da.items():
+            vb = db[key]
+            if isinstance(va, float):
+                assert _bits(va) == _bits(vb), key
+            else:
+                assert va == vb, key
+
+
+def test_update_edge_cases_round_trip():
+    updates = [
+        Update(seq=0, klass=ObjectClass.VIEW_LOW, object_id=0, value=0.0,
+               generation_time=0.0, arrival_time=0.0),
+        Update(seq=2**40, klass=ObjectClass.VIEW_HIGH, object_id=10**9,
+               value=-1e308, generation_time=1e-300, arrival_time=2e-300),
+        Update(seq=3, klass=ObjectClass.VIEW_HIGH, object_id=7, value=1.5,
+               generation_time=0.25, arrival_time=0.375,
+               partial=True, attribute=2),
+    ]
+    for update in updates:
+        (back,) = BinaryCodec.decode(encode_frame(update))
+        assert isinstance(back, Update)
+        assert item_to_dict(back) == item_to_dict(update)
+        assert _bits(back.value) == _bits(update.value)
+        assert _bits(back.generation_time) == _bits(update.generation_time)
+        assert back.partial == update.partial
+        assert back.attribute == update.attribute
+
+
+def test_spec_with_empty_reads_round_trips():
+    spec = TransactionSpec(seq=5, arrival_time=0.125, high_value=True,
+                           value=10.0, compute_time=1e-4, reads=(),
+                           slack=2.0)
+    (back,) = BinaryCodec.decode(encode_frame(spec))
+    assert isinstance(back, TransactionSpec)
+    assert back.reads == ()
+    assert item_to_dict(back) == item_to_dict(spec)
+
+
+def test_batch_encoding_is_concatenation_of_frames():
+    items = _drawn_items(duration=0.5)
+    assert encode_frames(items) == b"".join(
+        encode_frame(item) for item in items
+    )
+
+
+def test_json_frame_round_trips_raw_and_parsed():
+    payload = b'{"kind": "outcome", "seq": 7, "outcome": "committed"}'
+    frame = encode_json_frame(payload)
+    (parsed,) = BinaryCodec.decode(frame)
+    assert parsed == {"kind": "outcome", "seq": 7, "outcome": "committed"}
+    (raw,) = FrameDecoder(parse_json=False).feed(frame)
+    assert raw == payload
+
+
+def test_encode_frame_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_frame({"kind": "update"})
+    with pytest.raises(TypeError):
+        encode_frames([object()])
+
+
+# ----------------------------------------------------------------------
+# FrameDecoder
+# ----------------------------------------------------------------------
+def test_decoder_reassembles_across_arbitrary_chunks():
+    items = _drawn_items(duration=1.0)
+    payload = encode_frames(items)
+    for chunk_size in (1, 3, 7, 64, 1000):
+        decoder = FrameDecoder()
+        rebuilt = []
+        for start in range(0, len(payload), chunk_size):
+            rebuilt.extend(decoder.feed(payload[start:start + chunk_size]))
+        assert decoder.pending_bytes == 0
+        assert [item_to_dict(i) for i in rebuilt] == [
+            item_to_dict(i) for i in items
+        ]
+
+
+def test_decoder_buffers_partial_tail_frame():
+    frame = encode_frame(
+        Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
+               generation_time=0.0, arrival_time=0.0)
+    )
+    decoder = FrameDecoder()
+    first = decoder.feed(frame + frame[:10])
+    assert len(first) == 1 and isinstance(first[0], Update)
+    assert decoder.pending_bytes == 10
+    out = decoder.feed(frame[10:])
+    assert len(out) == 1
+    assert decoder.pending_bytes == 0
+
+
+def test_decoder_isolates_a_malformed_frame_body():
+    """A frame whose body fails to decode comes back as its own
+    ValueError; its neighbors still decode (length prefixes delimit)."""
+    good = encode_frame(
+        Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
+               generation_time=0.0, arrival_time=0.0)
+    )
+    bad_body = b"\x00" * 8  # wrong size for an update body
+    bad = FRAME_HEADER.pack(TAG_UPDATE, len(bad_body)) + bad_body
+    out = FrameDecoder().feed(good + bad + good)
+    assert len(out) == 3
+    assert isinstance(out[0], Update)
+    assert isinstance(out[1], ValueError)
+    assert isinstance(out[2], Update)
+
+
+def test_decoder_isolates_a_miscounted_spec_body():
+    spec = TransactionSpec(seq=5, arrival_time=0.125, high_value=True,
+                           value=10.0, compute_time=1e-4, reads=(1, 2),
+                           slack=2.0)
+    frame = bytearray(encode_frame(spec))
+    # Corrupt the read count (last field of the head) to claim 3 reads.
+    count_at = FRAME_HEADER.size + struct.calcsize("<qdBddd")
+    frame[count_at:count_at + 4] = struct.pack("<I", 3)
+    (entry,) = FrameDecoder().feed(bytes(frame))
+    assert isinstance(entry, ValueError)
+    assert "reads" in str(entry)
+
+
+def test_decoder_skips_unknown_tags_by_length():
+    good = encode_frame(
+        Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
+               generation_time=0.0, arrival_time=0.0)
+    )
+    unknown = FRAME_HEADER.pack(0x7E, 4) + b"abcd"
+    out = FrameDecoder().feed(unknown + good)
+    assert isinstance(out[0], ValueError)
+    assert isinstance(out[1], Update)
+
+
+def test_decoder_raises_on_absurd_frame_length():
+    """Past a corrupt header there is no resynchronization point — the
+    decoder must refuse the whole stream, not guess."""
+    decoder = FrameDecoder()
+    with pytest.raises(ValueError, match="corrupt"):
+        decoder.feed(FRAME_HEADER.pack(TAG_UPDATE, MAX_FRAME_BODY + 1))
+
+
+def test_decode_rejects_trailing_bytes():
+    frame = encode_frame(
+        Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
+               generation_time=0.0, arrival_time=0.0)
+    )
+    with pytest.raises(ValueError, match="mid-frame"):
+        BinaryCodec.decode(frame + b"\x01")

@@ -339,7 +339,7 @@ def test_snapshot_reply_applies_backpressure(monkeypatch):
 
         monkeypatch.setattr(cluster, "snapshot", fake_snapshot)
         downstream = FakeDownstream()
-        await cluster._dispatch_batch([b'{"kind": "snapshot"}'], downstream, {})
+        await cluster._dispatch_batch([{"kind": "snapshot"}], downstream, {})
         return downstream
 
     downstream = asyncio.run(scenario())
@@ -360,7 +360,7 @@ def test_snapshot_reply_degrades_when_all_shards_down(monkeypatch):
 
         monkeypatch.setattr(cluster, "snapshot", fake_snapshot)
         downstream = FakeDownstream()
-        await cluster._dispatch_batch([b'{"kind": "snapshot"}'], downstream, {})
+        await cluster._dispatch_batch([{"kind": "snapshot"}], downstream, {})
         return cluster, downstream
 
     cluster, downstream = asyncio.run(scenario())

@@ -1,0 +1,308 @@
+"""Tests for the shared-memory SPSC ring and the cluster's ring data plane.
+
+Unit layer: the ring itself — FIFO order, byte-wise wraparound, full-ring
+rejection (the TCP-fallback trigger), corruption detection, and a real
+cross-process hop through a spawn child.
+
+Integration layer: a 2-shard cluster with ``shm=True`` moves its update
+stream over the rings (``ring_records`` accounting proves it), and a
+killed-and-restarted worker permanently falls back to TCP for its shard
+while records keep flowing.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import struct
+import time
+
+import pytest
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass, Update
+from repro.live import ShardCluster, SpscRing
+from repro.live.shm import HEADER_SIZE
+from repro.workload.codec import (
+    WIRE_PREAMBLE,
+    FrameDecoder,
+    encode_frames,
+    encode_json_frame,
+)
+
+OP_TIMEOUT = 30.0
+
+
+# ----------------------------------------------------------------------
+# Ring units
+# ----------------------------------------------------------------------
+def test_push_pop_round_trip_preserves_order():
+    ring = SpscRing.create(capacity=4096)
+    try:
+        payloads = [bytes([i]) * (i + 1) for i in range(10)]
+        for p in payloads:
+            assert ring.push(p)
+        assert ring.pop_all() == payloads
+        assert ring.pop_all() == []
+        assert ring.pushed == 10
+        assert ring.popped == 10
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_empty_payload_round_trips():
+    ring = SpscRing.create(capacity=64)
+    try:
+        assert ring.push(b"")
+        assert ring.pop_all() == [b""]
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_entries_wrap_around_the_buffer_boundary():
+    """Free-running cursors + byte-wise wrap: entries that straddle the
+    physical end of the data region come back intact."""
+    ring = SpscRing.create(capacity=64)
+    try:
+        seen = []
+        for i in range(50):  # 50 * (4+11) bytes >> capacity: many wraps
+            payload = bytes([i % 251]) * 11
+            assert ring.push(payload)
+            seen.extend(ring.pop_all())
+            assert seen[-1] == payload
+        assert len(seen) == 50
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_full_ring_rejects_without_partial_write():
+    ring = SpscRing.create(capacity=64)
+    try:
+        assert ring.push(b"x" * 28)  # 32 bytes with prefix
+        assert ring.push(b"y" * 28)  # ring now full
+        assert not ring.push(b"z")   # rejected, accounted
+        assert ring.rejected == 1
+        assert ring.backlog == 64
+        # The rejected entry left no trace: a drain yields exactly the
+        # two accepted payloads and frees the space again.
+        assert ring.pop_all() == [b"x" * 28, b"y" * 28]
+        assert ring.push(b"z")
+        assert ring.pop_all() == [b"z"]
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_oversized_entry_is_a_sizing_error_not_a_rejection():
+    ring = SpscRing.create(capacity=64)
+    try:
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.push(b"x" * 64)  # 68 bytes with prefix: can never fit
+        assert ring.rejected == 0
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_too_small_capacity_is_rejected():
+    with pytest.raises(ValueError, match="too small"):
+        SpscRing.create(capacity=32)
+
+
+def test_corrupt_length_prefix_poisons_the_ring():
+    ring = SpscRing.create(capacity=256)
+    try:
+        ring.push(b"fine")
+        # Overwrite the entry's length prefix with an impossible size.
+        ring._shm.buf[HEADER_SIZE:HEADER_SIZE + 4] = struct.pack("<I", 2**31)
+        with pytest.raises(ValueError, match="corrupt"):
+            ring.pop_all()
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def _child_drain(name, conn):
+    """Spawn-child consumer: attach by name, drain, report, exit."""
+    ring = SpscRing.attach(name)
+    got = []
+    deadline = time.monotonic() + OP_TIMEOUT
+    while len(got) < 3 and time.monotonic() < deadline:
+        got.extend(ring.pop_all())
+        time.sleep(0.005)
+    conn.send(got)
+    conn.close()
+    ring.close()
+
+
+def test_consumer_in_a_spawn_child_process():
+    """The real deployment shape: producer owns the segment, a spawned
+    worker attaches by name, drains, and exits without the resource
+    tracker unlinking the producer's segment."""
+    ctx = multiprocessing.get_context("spawn")
+    ring = SpscRing.create(capacity=4096)
+    try:
+        payloads = [b"alpha", b"beta", b"gamma"]
+        for p in payloads:
+            assert ring.push(p)
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_child_drain, args=(ring.name, child_conn))
+        proc.start()
+        assert parent_conn.poll(OP_TIMEOUT), "child never drained the ring"
+        assert parent_conn.recv() == payloads
+        proc.join(timeout=OP_TIMEOUT)
+        assert proc.exitcode == 0
+        # The segment survived the child's exit: the producer can still
+        # publish (a fresh consumer could attach and resume).
+        assert ring.push(b"delta")
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+# ----------------------------------------------------------------------
+# Cluster integration
+# ----------------------------------------------------------------------
+def _cluster_config():
+    config = baseline_config(duration=1.0, seed=11)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=500.0, mean_age=0.01)
+    config = config.with_transactions(arrival_rate=5.0)
+    return config.with_system(ips=5e8)
+
+
+def _shard_gids(router, shard, count=5):
+    gids = [
+        gid for gid in range(router.n_low)
+        if router.shard_of(ObjectClass.VIEW_LOW, gid) == shard
+    ]
+    assert len(gids) >= count, "config too small for this shard count"
+    return gids[:count]
+
+
+def _update_frames(gids, start_seq=0):
+    updates = [
+        Update(seq=start_seq + i, klass=ObjectClass.VIEW_LOW, object_id=gid,
+               value=1.0, generation_time=0.0, arrival_time=0.0)
+        for i, gid in enumerate(gids)
+    ]
+    return encode_frames(updates)
+
+
+async def _wait_for(predicate, *, timeout=OP_TIMEOUT, interval=0.05):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached within the timeout")
+        await asyncio.sleep(interval)
+
+
+async def _binary_snapshot(reader, writer, decoder):
+    writer.write(encode_json_frame(b'{"kind": "snapshot"}'))
+    await writer.drain()
+    while True:
+        chunk = await asyncio.wait_for(reader.read(4096), timeout=OP_TIMEOUT)
+        assert chunk, "router dropped the client session"
+        for record in decoder.feed(chunk):
+            if isinstance(record, dict) and record.get("kind") == "snapshot":
+                return record
+
+
+def test_shm_cluster_moves_updates_over_the_rings():
+    """2 shards, binary wire, shm on: every routed update travels a ring
+    (zero fallbacks), installs land, and the merged extras say so."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=0,
+            flush_us=0.0, shm=True,
+        )
+        host, port = await cluster.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(WIRE_PREAMBLE)
+        gids0 = _shard_gids(cluster.router, 0)
+        gids1 = _shard_gids(cluster.router, 1)
+        writer.write(_update_frames(gids0))
+        writer.write(_update_frames(gids1, start_seq=5))
+        await writer.drain()
+
+        decoder = FrameDecoder()
+        # Poll snapshots until the consumers drained both rings.
+        expected = len(gids0) + len(gids1)
+        while True:
+            snap = await _binary_snapshot(reader, writer, decoder)
+            if snap["updates_arrived"] >= expected:
+                break
+            await asyncio.sleep(0.05)
+
+        writer.close()
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=1.0), timeout=OP_TIMEOUT
+        )
+        return snap, result
+
+    snap, result = asyncio.run(scenario())
+    assert snap["extras"]["shm"] is True
+    assert snap["extras"]["wire"] == "binary"
+    assert result.extras["ring_records"] == [5, 5]
+    assert result.extras["ring_fallbacks"] == [0, 0]
+    assert result.updates_arrived == 10
+    assert result.updates_applied > 0
+    assert result.update_conservation_gap() == 0
+
+
+def test_restarted_worker_falls_back_to_tcp():
+    """Kill one worker of an shm cluster: the supervisor restarts it with
+    its ring retired (stale cursors), the shard keeps serving over TCP,
+    and the untouched shard keeps its ring."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            _cluster_config(), "TF", shards=2, restart_limit=1,
+            flush_us=0.0, shm=True,
+        )
+        host, port = await cluster.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(WIRE_PREAMBLE)
+        gids0 = _shard_gids(cluster.router, 0)
+
+        # Healthy: shard 0 takes its first batch over the ring.
+        writer.write(_update_frames(gids0))
+        await writer.drain()
+        await _wait_for(lambda: cluster.liveness()[0]["ring_records"] == 5)
+
+        cluster.kill_worker(0)
+        await _wait_for(
+            lambda: cluster.worker_status(0) == "up"
+            and cluster.liveness()[0]["restarts"] == 1
+        )
+        live = cluster.liveness()
+        assert live[0]["ring"] is False, "restarted shard must retire its ring"
+        assert live[1]["ring"] is True
+
+        # Records for the restarted shard still land — via TCP now.
+        writer.write(_update_frames(gids0, start_seq=10))
+        await writer.drain()
+        decoder = FrameDecoder()
+        while True:
+            snap = await _binary_snapshot(reader, writer, decoder)
+            if snap["updates_arrived"] >= len(gids0):
+                break
+            await asyncio.sleep(0.05)
+        # Post-restart traffic did not touch the shard-0 ring.
+        assert cluster.liveness()[0]["ring_records"] == 5
+
+        writer.close()
+        result = await asyncio.wait_for(
+            cluster.shutdown(drain_timeout=1.0), timeout=OP_TIMEOUT
+        )
+        return snap, result
+
+    snap, result = asyncio.run(scenario())
+    assert result.extras["worker_restarts"] == [1, 0]
+    assert result.extras["down_shards"] == []
+    assert result.extras["ring_records"][0] == 5  # pre-kill ring traffic only
+    assert result.updates_arrived >= 5  # post-restart TCP records landed
+    assert result.update_conservation_gap() == 0

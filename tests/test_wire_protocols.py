@@ -1,0 +1,350 @@
+"""Tests for wire-protocol negotiation and JSONL/binary parity.
+
+Three layers of the interop contract:
+
+* :func:`negotiate_protocol` — the first bytes of a session select the
+  codec; a JSONL peer's first byte is handed back untouched.
+* Mixed sessions — a JSONL client and a binary client against the same
+  binary-capable server see the same records land and the same replies
+  come back.
+* Full parity — for every scheduling algorithm, a live run fed over the
+  binary wire is asdict-identical to the same run fed over JSONL, at
+  shards=1 (real socket, engine clock) and shards=2 (routed engine-level
+  pipelines), including partial updates and empty-read transactions.
+"""
+
+import asyncio
+import json
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.sharding import route_batch, shard_config
+from repro.db.objects import ObjectClass, Update
+from repro.db.sharding import ShardRouter
+from repro.live import IngestServer, LiveRuntime, WireClient
+from repro.live.wire import (
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
+    WireProtocolError,
+    negotiate_protocol,
+)
+from repro.metrics.results import SimulationResult
+from repro.sim.engine import Engine
+from repro.sim.streams import StreamFamily
+from repro.workload.codec import (
+    WIRE_PREAMBLE,
+    FrameDecoder,
+    decode_lines,
+    encode_frames,
+    encode_json_frame,
+    encode_lines,
+    item_from_record,
+)
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
+from repro.workload.updates import UpdateStreamGenerator
+
+ALGORITHMS = ["UF", "TF", "SU", "OD", "FX", "TF-SPLIT"]
+
+
+def _config(**updates_kwargs):
+    config = baseline_config(duration=5.0, seed=424242)
+    config.warmup = 0.0
+    updates_kwargs.setdefault("arrival_rate", 120.0)
+    updates_kwargs.setdefault("partial_probability", 0.3)
+    config = config.with_updates(**updates_kwargs)
+    return config.with_transactions(arrival_rate=10.0)
+
+
+def _draw_workload(config):
+    """The simulator's own draws, plus one empty-read spec (satellite
+    requirement: the readless schema edge must ride both wires)."""
+    streams = StreamFamily(config.seed)
+    update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
+    items = []
+    t = update_gen.next_interarrival()
+    while t < config.duration:
+        items.append(update_gen.draw_update(t))
+        t += update_gen.next_interarrival()
+    t = txn_gen.next_interarrival()
+    seq = 0
+    while t < config.duration:
+        items.append(txn_gen.draw_spec(t))
+        seq += 1
+        t += txn_gen.next_interarrival()
+    template = next(i for i in items if isinstance(i, TransactionSpec))
+    items.append(replace(template, seq=seq, arrival_time=2.5, reads=()))
+    assert any(isinstance(i, Update) and i.partial for i in items)
+    return items
+
+
+# ----------------------------------------------------------------------
+# Negotiation
+# ----------------------------------------------------------------------
+def _reader_with(data: bytes, *, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data) if data else None
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def test_negotiate_jsonl_returns_the_peeked_byte():
+    async def run():
+        reader = _reader_with(b'{"kind": "update"}\n')
+        return await negotiate_protocol(reader)
+
+    protocol, leftover = asyncio.run(run())
+    assert protocol == PROTOCOL_JSONL
+    assert leftover == b"{"
+
+
+def test_negotiate_empty_session_defaults_to_jsonl():
+    async def run():
+        return await negotiate_protocol(_reader_with(b""))
+
+    protocol, leftover = asyncio.run(run())
+    assert protocol == PROTOCOL_JSONL
+    assert leftover == b""
+
+
+def test_negotiate_binary_preamble():
+    async def run():
+        return await negotiate_protocol(_reader_with(WIRE_PREAMBLE + b"rest"))
+
+    protocol, leftover = asyncio.run(run())
+    assert protocol == PROTOCOL_BINARY
+    assert leftover == b""
+
+
+def test_negotiate_rejects_truncated_preamble():
+    async def run():
+        return await negotiate_protocol(_reader_with(WIRE_PREAMBLE[:3]))
+
+    with pytest.raises(WireProtocolError):
+        asyncio.run(run())
+
+
+def test_negotiate_rejects_unknown_version():
+    bad = WIRE_PREAMBLE[:-1] + b"\x7f"
+
+    async def run():
+        return await negotiate_protocol(_reader_with(bad))
+
+    with pytest.raises(WireProtocolError, match="version"):
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Mixed-protocol sessions against one server
+# ----------------------------------------------------------------------
+def _smoke_config():
+    config = baseline_config(duration=1.0, seed=7)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=100.0, mean_age=0.01)
+    config = config.with_transactions(arrival_rate=20.0, compute_mean=0.002,
+                                      compute_stdev=0.0005)
+    return config.with_system(ips=5e8)
+
+
+def _session_items():
+    update = Update(seq=0, klass=ObjectClass.VIEW_LOW, object_id=1,
+                    value=42.0, generation_time=0.0, arrival_time=0.0)
+    spec = TransactionSpec(seq=0, arrival_time=0.0, high_value=False,
+                           value=1.0, compute_time=0.001, reads=(1,),
+                           slack=2.0)
+    return update, spec
+
+
+def test_binary_session_roundtrip_matches_jsonl_session():
+    """The smoke-test session, once per protocol, on the same server:
+    identical records received and reply records either way."""
+
+    async def jsonl_session(host, port):
+        update, spec = _session_items()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_lines([update, spec]))
+        writer.write(b'{"kind": "snapshot"}\n')
+        await writer.drain()
+        replies = []
+        for _ in range(2):
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            replies.append(json.loads(line))
+        writer.close()
+        return replies
+
+    async def binary_session(host, port):
+        update, spec = _session_items()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(WIRE_PREAMBLE)
+        writer.write(encode_frames([update, spec]))
+        writer.write(encode_json_frame(b'{"kind": "snapshot"}'))
+        await writer.drain()
+        decoder = FrameDecoder()
+        replies = []
+        while len(replies) < 2:
+            chunk = await asyncio.wait_for(reader.read(4096), timeout=5.0)
+            assert chunk, "server closed before replying"
+            replies.extend(decoder.feed(chunk))
+        writer.close()
+        return replies
+
+    async def scenario():
+        runtime = LiveRuntime(_smoke_config(), "TF")
+        runtime.start()
+        server = IngestServer(runtime)
+        host, port = await server.start()
+        jsonl = await jsonl_session(host, port)
+        binary = await binary_session(host, port)
+        await server.stop()
+        result = await runtime.shutdown()
+        return jsonl, binary, server, result
+
+    jsonl, binary, server, result = asyncio.run(scenario())
+    assert server.records_received == 4  # 2 per session
+    assert server.errors == 0
+    key = lambda r: r["kind"]  # noqa: E731 - tiny sort key
+    for j, b in zip(sorted(jsonl, key=key), sorted(binary, key=key)):
+        assert j.keys() == b.keys()
+        assert j["kind"] == b["kind"]
+    outcomes = [r for r in jsonl + binary if r["kind"] == "outcome"]
+    assert [r["outcome"] for r in outcomes] == ["committed", "committed"]
+    assert result.transactions_committed == 2
+
+
+def test_wire_clients_of_both_protocols_interoperate():
+    """A JSONL WireClient and a binary WireClient drive the same server
+    and collect identical outcome counts for identical submissions."""
+    update, spec = _session_items()
+
+    async def drive(host, port, wire):
+        outcomes = []
+
+        def on_line(body: bytes):
+            record = json.loads(body)
+            if record.get("kind") == "outcome":
+                outcomes.append(record["outcome"])
+
+        client = WireClient(host, port, wire=wire, on_line=on_line,
+                            flush_us=0.0)
+        await client.connect()
+        await client.send(update)
+        for seq in range(5):
+            await client.send(replace(spec, seq=seq))
+        await client.drain()
+        deadline = asyncio.get_event_loop().time() + 5.0
+        while len(outcomes) < 5:
+            assert asyncio.get_event_loop().time() < deadline
+            await asyncio.sleep(0.005)
+        await client.aclose()
+        return outcomes
+
+    async def scenario():
+        runtime = LiveRuntime(_smoke_config(), "TF")
+        runtime.start()
+        server = IngestServer(runtime)
+        host, port = await server.start()
+        via_jsonl = await drive(host, port, PROTOCOL_JSONL)
+        via_binary = await drive(host, port, PROTOCOL_BINARY)
+        await server.stop()
+        await runtime.shutdown()
+        return via_jsonl, via_binary
+
+    via_jsonl, via_binary = asyncio.run(scenario())
+    assert len(via_jsonl) == len(via_binary) == 5
+    assert sorted(via_jsonl) == sorted(via_binary)
+
+
+# ----------------------------------------------------------------------
+# Six-algorithm parity, shards=1: real socket, engine clock
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_binary_wire_parity_single_shard(algorithm):
+    """A binary-wire session == a JSONL session, asdict-identical.
+
+    Same pattern as the wire-batch parity test: frozen engine clock, one
+    delivery instant, real IngestServer over a real socket — only the
+    session codec differs, so the results must match field for field.
+    """
+    config = _config(arrival_rate=300.0)
+    items = _draw_workload(config)
+
+    async def scenario(protocol):
+        engine = Engine()
+        engine.run_until(1.0)  # a fixed, shared delivery instant
+        runtime = LiveRuntime(config, algorithm, clock=engine)
+        server = IngestServer(runtime)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        if protocol == PROTOCOL_BINARY:
+            writer.write(WIRE_PREAMBLE + encode_frames(items))
+        else:
+            writer.write(encode_lines(items))
+        await writer.drain()
+        while server.records_received < len(items):
+            await asyncio.sleep(0.001)
+        writer.close()
+        await server.stop()
+        engine.run_until(60.0)  # let every queued transaction finish
+        return asdict(runtime.finalize())
+
+    jsonl = asyncio.run(scenario(PROTOCOL_JSONL))
+    binary = asyncio.run(scenario(PROTOCOL_BINARY))
+    assert binary == jsonl
+    assert binary["updates_applied"] > 0
+    assert binary["transactions_committed"] > 0
+
+
+# ----------------------------------------------------------------------
+# Six-algorithm parity, shards=2: routed engine-level pipelines
+# ----------------------------------------------------------------------
+def _decode_via(protocol, items):
+    if protocol == PROTOCOL_BINARY:
+        decoded = FrameDecoder().feed(encode_frames(items))
+    else:
+        decoded = [
+            item_from_record(record)
+            for record in decode_lines(encode_lines(items).splitlines())
+        ]
+    assert not any(isinstance(d, Exception) for d in decoded)
+    return decoded
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_binary_wire_parity_two_shards(algorithm):
+    """Shards=2: the routed, merged run is asdict-identical whether the
+    trace crossed the wire as binary frames or JSONL lines."""
+    config = _config(arrival_rate=300.0)
+    items = _draw_workload(config)
+
+    def run(protocol):
+        decoded = _decode_via(protocol, items)
+        router = ShardRouter(config.updates.n_low, config.updates.n_high, 2)
+        engine = Engine()
+        runtimes = [
+            LiveRuntime(shard_config(config, router, i), algorithm,
+                        clock=engine)
+            for i in range(2)
+        ]
+        for shard, routed in route_batch(router, decoded).items():
+            runtime = runtimes[shard]
+            for record in routed:
+                if isinstance(record, Update):
+                    engine.schedule_at(record.arrival_time,
+                                       runtime.ingest, record)
+                else:
+                    engine.schedule_at(record.arrival_time,
+                                       runtime.submit, record)
+        engine.run_until(60.0)
+        merged = SimulationResult.merge([r.finalize() for r in runtimes])
+        result = asdict(merged)
+        result.pop("extras", None)  # merge provenance, not model output
+        return result
+
+    jsonl = run(PROTOCOL_JSONL)
+    binary = run(PROTOCOL_BINARY)
+    assert binary == jsonl
+    assert binary["updates_applied"] > 0
+    assert binary["transactions_committed"] > 0
