@@ -26,6 +26,10 @@ Layout:
   behind one ingest router; merged fleet snapshots and final results.
   The internal hop defaults to binary frames and can carry the update
   stream over shared-memory rings (:class:`~repro.live.shm.SpscRing`).
+* :class:`DurabilityManager` — per-shard binary write-ahead log
+  (:class:`UpdateLog`) plus compacted snapshots (:class:`SnapshotStore`),
+  so supervisor restarts come back *warm*: snapshot restore + idempotent
+  log replay, with the replay lag surfaced as a staleness gauge.
 
 Run it: ``python -m repro.live serve|loadgen|bench`` (also installed as the
 ``repro-live`` console script).
@@ -37,6 +41,16 @@ from repro.live.cluster import (
     ShardDownError,
     ShardedBenchResult,
     run_sharded_bench,
+)
+from repro.live.durability import (
+    DurabilityManager,
+    Replayer,
+    ReplayStats,
+    SnapshotStore,
+    UpdateLog,
+    capture_state,
+    read_log,
+    restore_state,
 )
 from repro.live.loadgen import LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
@@ -52,21 +66,29 @@ from repro.live.wire import (
 )
 
 __all__ = [
+    "DurabilityManager",
     "IngestServer",
     "LiveRuntime",
     "LoadGenerator",
     "MetricsStreamer",
     "PROTOCOL_BINARY",
     "PROTOCOL_JSONL",
+    "Replayer",
+    "ReplayStats",
     "ShardCluster",
     "ShardDownError",
     "ShardedBenchResult",
+    "SnapshotStore",
     "SpscRing",
     "TransactionHandle",
+    "UpdateLog",
     "WallClock",
     "WIRE_PROTOCOLS",
     "WireClient",
+    "capture_state",
     "connect_with_retry",
     "negotiate_protocol",
+    "read_log",
+    "restore_state",
     "run_sharded_bench",
 ]

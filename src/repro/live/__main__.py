@@ -29,6 +29,7 @@ from repro.config import SimulationConfig, StalenessPolicy, baseline_config
 from repro.core.algorithms.registry import ALGORITHMS
 from repro.live.clock import WallClock
 from repro.live.cluster import ShardCluster, run_sharded_bench
+from repro.live.durability import FSYNC_POLICIES, DurabilityManager
 from repro.live.loadgen import LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
@@ -135,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fail-after", type=float, default=1.0,
                        metavar="SECONDS",
                        help="delay before --fail-shard fires (default 1)")
+    serve.add_argument("--log-dir", default=None, metavar="DIR",
+                       help="durability: append admitted updates to a "
+                       "per-shard write-ahead log under DIR and snapshot "
+                       "periodically, so crashed shard workers restart "
+                       "*warm* — snapshot + replay instead of a cold "
+                       "empty runtime (default: off, restarts are cold)")
+    serve.add_argument("--fsync", choices=list(FSYNC_POLICIES),
+                       default="never",
+                       help="log fsync policy: 'never' trusts the OS page "
+                       "cache (survives process crashes, not power loss), "
+                       "'interval' syncs at most every 200ms, 'always' "
+                       "syncs every append (default never)")
+    serve.add_argument("--snapshot-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds between compacted snapshots; each "
+                       "snapshot truncates the log to records newer than "
+                       "it (default 5)")
     serve.add_argument("--wire", choices=["jsonl", "binary"],
                        default="binary",
                        help="router→worker hop protocol (sharded mode; "
@@ -204,8 +222,26 @@ async def _serve(args) -> int:
     stop = asyncio.Event()
     _install_stop_handlers(stop)  # before the banner: see it, can signal it
     config = _build_config(args)
-    runtime = LiveRuntime(config, args.algorithm)
+    manager = None
+    clock = None
+    if args.log_dir is not None:
+        manager = DurabilityManager(
+            args.log_dir, 0, fsync=args.fsync,
+            snapshot_interval=args.snapshot_interval,
+        )
+        # Resume the predecessor's time domain so restored generation
+        # timestamps stay comparable with post-restart measurements.
+        clock = WallClock(start_at=manager.resume_at)
+    runtime = LiveRuntime(config, args.algorithm, clock=clock)
     runtime.start()
+    if manager is not None:
+        stats = await manager.recover(runtime)
+        manager.attach(runtime)
+        manager.start(runtime)
+        if stats.resumed:
+            print(f"repro-live: warm restart — replayed "
+                  f"{stats.replayed_records} logged records in "
+                  f"{stats.replay_lag_s:.3f}s", file=sys.stderr, flush=True)
     server = IngestServer(runtime, args.host, args.port,
                           batch_max=args.batch_max, flush_us=args.flush_us)
     host, port = await server.start()
@@ -225,6 +261,10 @@ async def _serve(args) -> int:
     print("repro-live: draining ...", file=sys.stderr, flush=True)
     await server.stop()
     drained = await runtime.drain(args.drain_timeout)
+    if manager is not None:
+        # Final snapshot *after* the drain, *before* finalize: capture the
+        # settled state while the ledgers are still live.
+        await manager.stop(runtime)
     if streamer is not None:
         await streamer.stop(final_emit=False)
     result = await runtime.shutdown(drain_timeout=0.0)
@@ -252,6 +292,9 @@ async def _serve_sharded(args) -> int:
         restart_limit=args.restart_limit,
         wire="binary" if args.shm else args.wire,
         shm=args.shm,
+        log_dir=args.log_dir,
+        fsync=args.fsync,
+        snapshot_interval=args.snapshot_interval,
     )
     host, port = await cluster.start()
     print(f"repro-live: {args.algorithm} serving on {host}:{port} across "

@@ -84,10 +84,15 @@ class WallClock:
         time_source: Callable[[], float] = time.monotonic,
         *,
         burst_horizon: float = DEFAULT_BURST_HORIZON,
+        start_at: float = 0.0,
     ) -> None:
         self._time = time_source
-        self._origin = time_source()
-        self._last_now = 0.0
+        # ``start_at`` shifts the origin so ``now`` starts there instead of
+        # at zero: a warm-restarted shard resumes its predecessor's time
+        # domain, keeping restored generation timestamps and staleness
+        # integrals comparable with everything measured after the restart.
+        self._origin = time_source() - start_at
+        self._last_now = start_at
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._cancelled = 0

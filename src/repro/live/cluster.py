@@ -78,6 +78,8 @@ from dataclasses import asdict, dataclass, field, replace
 from repro.config import SimulationConfig
 from repro.core.sharding import route_batch, shard_config
 from repro.db.sharding import ShardRouter
+from repro.live.clock import WallClock
+from repro.live.durability import DurabilityManager
 from repro.live.loadgen import LoadGenerator
 from repro.live.runtime import LiveRuntime
 from repro.db.objects import Update
@@ -161,14 +163,15 @@ def _ignore_signals() -> None:
 def _serve_worker_main(
     conn, config, algorithm, algorithm_kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
-    ring_name=None,
+    ring_name=None, log_dir=None, fsync="never", snapshot_interval=5.0,
 ):
     """Entry point of one serving shard (runs in a spawned process)."""
     _ignore_signals()
     asyncio.run(
         _serve_worker_async(
             conn, config, algorithm, algorithm_kwargs, index, shards,
-            batch_max, flush_us, ring_name,
+            batch_max, flush_us, ring_name, log_dir, fsync,
+            snapshot_interval,
         )
     )
 
@@ -220,12 +223,33 @@ async def _consume_ring(ring: SpscRing, runtime: LiveRuntime) -> None:
 async def _serve_worker_async(
     conn, config, algorithm, kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
-    ring_name=None,
+    ring_name=None, log_dir=None, fsync="never", snapshot_interval=5.0,
 ):
     router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
     local_config = shard_config(config, router, index)
-    runtime = LiveRuntime(local_config, algorithm, **kwargs)
+    manager = None
+    if log_dir is not None:
+        # Recovery plan first: the clock must *start* in the dead
+        # incarnation's time domain, and the clock is fixed at
+        # construction.
+        manager = DurabilityManager(
+            log_dir, index, fsync=fsync, snapshot_interval=snapshot_interval
+        )
+        runtime = LiveRuntime(
+            local_config, algorithm,
+            clock=WallClock(start_at=manager.resume_at), **kwargs
+        )
+    else:
+        runtime = LiveRuntime(local_config, algorithm, **kwargs)
     runtime.start()
+    stats = None
+    if manager is not None:
+        # Restore + replay *before* the log attaches (replayed records
+        # are already on disk) and before the port is announced (the
+        # router only routes to a warm shard).
+        stats = await manager.recover(runtime)
+        manager.attach(runtime)
+        manager.start(runtime)
     server = IngestServer(
         runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us
     )
@@ -235,7 +259,13 @@ async def _serve_worker_async(
     if ring_name is not None:
         ring = SpscRing.attach(ring_name)
         ring_task = asyncio.ensure_future(_consume_ring(ring, runtime))
-    conn.send(("ready", port))
+    if stats is not None:
+        conn.send(("ready", port, {
+            "replayed_records": stats.replayed_records,
+            "replay_lag_s": stats.replay_lag_s,
+        }))
+    else:
+        conn.send(("ready", port))
     while not conn.poll():
         await asyncio.sleep(0.05)
     message = conn.recv()  # ("stop", drain_timeout)
@@ -251,7 +281,13 @@ async def _serve_worker_async(
             pass
         await _consume_ring_once(ring, runtime)
         ring.close()
-    result = await runtime.shutdown(drain_timeout=drain_timeout)
+    # Drain first so the final snapshot captures settled state; the
+    # snapshot must precede finalize() inside shutdown(), which
+    # destructively closes the ledgers' open stale intervals.
+    await runtime.drain(drain_timeout)
+    if manager is not None:
+        await manager.stop(runtime)
+    result = await runtime.shutdown(drain_timeout=0.0)
     conn.send(("result", asdict(result)))
 
 
@@ -384,9 +420,15 @@ class WorkerState:
         ring_enabled: Whether the ring is in service — permanently
             ``False`` after a worker restart (the fresh process never
             attaches; see the module docstring).
+        ring_retired: The ring was retired (unlinked) after a worker
+            death; blocks ``_spawn`` from creating a replacement.
         ring_records: Updates delivered through the ring.
         ring_fallbacks: Update batches diverted to TCP because the ring
             was full or disabled.
+        replayed_records: Log records the current incarnation replayed
+            on its warm start (0 for cold starts).
+        replay_lag_s: Wall seconds the warm start spent restoring +
+            replaying — the shard's recovery-staleness component.
     """
 
     index: int
@@ -398,8 +440,11 @@ class WorkerState:
     shed_shard_down: int = 0
     ring: "SpscRing | None" = None
     ring_enabled: bool = False
+    ring_retired: bool = False
     ring_records: int = 0
     ring_fallbacks: int = 0
+    replayed_records: int = 0
+    replay_lag_s: float = 0.0
 
     def liveness(self) -> dict:
         """This worker's row in ``extras["workers"]``."""
@@ -412,6 +457,8 @@ class WorkerState:
             "ring": self.ring_enabled,
             "ring_records": self.ring_records,
             "ring_fallbacks": self.ring_fallbacks,
+            "replayed_records": self.replayed_records,
+            "replay_lag_s": self.replay_lag_s,
         }
 
 
@@ -451,6 +498,13 @@ class ShardCluster:
             transactions and snapshots stay on TCP.  Requires
             ``wire="binary"`` (the ring carries binary batch blobs).
         ring_bytes: Data capacity of each shard's ring.
+        log_dir: Directory for per-shard write-ahead logs + snapshots
+            (see :mod:`repro.live.durability`).  ``None`` (default)
+            disables durability: restarts come back cold, exactly the
+            pre-durability behavior.
+        fsync: Log fsync policy — ``never`` | ``interval`` | ``always``.
+        snapshot_interval: Seconds between compacted snapshots (each
+            truncates the shard's log).
     """
 
     def __init__(
@@ -472,6 +526,9 @@ class ShardCluster:
         wire: str = PROTOCOL_BINARY,
         shm: bool = False,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        log_dir: "str | None" = None,
+        fsync: str = "never",
+        snapshot_interval: float = 5.0,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardCluster needs >= 2 shards")
@@ -503,6 +560,9 @@ class ShardCluster:
         self.wire = wire
         self.shm = shm
         self.ring_bytes = ring_bytes
+        self.log_dir = log_dir
+        self.fsync = fsync
+        self.snapshot_interval = snapshot_interval
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
@@ -532,11 +592,10 @@ class ShardCluster:
         for worker in self._workers:
             self._spawn(worker)
         for worker in self._workers:
-            kind, port = await _pipe_recv(worker.conn, worker.process)
-            if kind != "ready":  # pragma: no cover - defensive
-                raise RuntimeError(f"unexpected worker message: {kind}")
-            worker.port = port
-            worker.status = "up"
+            message = await _pipe_recv(worker.conn, worker.process)
+            if message[0] != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message: {message[0]}")
+            self._note_ready(worker, message)
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
@@ -545,7 +604,7 @@ class ShardCluster:
 
     def _spawn(self, worker: WorkerState) -> None:
         """(Re)create one shard worker process and its control pipe."""
-        if self.shm and worker.ring is None and worker.restarts == 0:
+        if self.shm and worker.ring is None and not worker.ring_retired:
             # Short segment names: macOS caps them at 31 chars.
             worker.ring = SpscRing.create(
                 self.ring_bytes, name=f"rpr{os.getpid()}s{worker.index}"
@@ -565,6 +624,9 @@ class ShardCluster:
                 self.batch_max,
                 self.flush_us,
                 ring_name,
+                self.log_dir,
+                self.fsync,
+                self.snapshot_interval,
             ),
             daemon=True,
         )
@@ -572,6 +634,16 @@ class ShardCluster:
         child_conn.close()
         worker.process = process
         worker.conn = parent_conn
+
+    @staticmethod
+    def _note_ready(worker: WorkerState, message) -> None:
+        """Register one worker's ready message (with optional replay stats)."""
+        worker.port = message[1]
+        stats = message[2] if len(message) > 2 else None
+        if stats is not None:
+            worker.replayed_records = stats.get("replayed_records", 0)
+            worker.replay_lag_s = stats.get("replay_lag_s", 0.0)
+        worker.status = "up"
 
     async def stop_ingest(self) -> None:
         """Close the public socket; workers keep draining what they have."""
@@ -611,36 +683,62 @@ class ShardCluster:
                 worker.index, exitcode,
             )
 
+    async def _retire_worker_resources(
+        self, worker: WorkerState, *, release_ring: bool
+    ) -> None:
+        """Retire everything a dead (or drained) incarnation left behind.
+
+        The single place crash loops and shutdown release worker-attached
+        resources, so neither path can leak: the child process is reaped
+        (join → terminate → kill), the control pipe fd is closed, and —
+        when ``release_ring`` — the shard's shm segment is closed *and
+        unlinked* (a fresh process must not resume from stale ring
+        cursors, and an unlinked segment cannot accumulate across a crash
+        loop; ``ring_retired`` stops ``_spawn`` from minting another).
+
+        Durability files need no parent-side retirement: the dead
+        incarnation's log fd died with the process, and the successor
+        re-adopts the log *by path*, truncating any torn tail when it
+        reopens (see :meth:`~repro.live.durability.UpdateLog.open`).
+        """
+        await _reap(worker.process)
+        if worker.conn is not None:
+            worker.conn.close()
+            worker.conn = None
+        if release_ring and worker.ring is not None:
+            worker.ring_enabled = False
+            worker.ring_retired = True
+            worker.ring.close()
+            worker.ring.unlink()
+            worker.ring = None
+
     async def _restart_worker(self, worker: WorkerState) -> None:
         """Replace a dead worker with a fresh runtime on a fresh port.
 
         While this runs the shard stays non-``up``, so its records are
         shed rather than queued against a process that may never come
-        back; on failure the shard is marked down for good.
+        back; on failure the shard is marked down for good.  With
+        durability on (``log_dir``) the fresh worker warm-starts from the
+        shard's snapshot + log before it announces its port.
         """
         try:
-            await _reap(worker.process)
-            if worker.conn is not None:
-                worker.conn.close()
-            if worker.ring_enabled:
-                # The dead incarnation may have left the ring mid-drain;
-                # a fresh process must not resume from stale cursors.
-                # The shard keeps serving over the TCP fallback.
-                worker.ring_enabled = False
+            if worker.ring is not None:
                 logger.warning(
-                    "shard %d ring disabled after worker death; "
+                    "shard %d ring retired after worker death; "
                     "falling back to TCP", worker.index,
                 )
+            await self._retire_worker_resources(worker, release_ring=True)
             self._spawn(worker)
-            kind, port = await _pipe_recv(worker.conn, worker.process)
-            if kind != "ready":  # pragma: no cover - defensive
-                raise RuntimeError(f"unexpected worker message: {kind}")
-            worker.port = port
+            message = await _pipe_recv(worker.conn, worker.process)
+            if message[0] != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message: {message[0]}")
+            self._note_ready(worker, message)
             worker.restarts += 1
-            worker.status = "up"
             logger.info(
-                "shard %d worker restarted on port %d (restart %d)",
-                worker.index, port, worker.restarts,
+                "shard %d worker restarted on port %d (restart %d, "
+                "replayed %d records)",
+                worker.index, worker.port, worker.restarts,
+                worker.replayed_records,
             )
         except asyncio.CancelledError:
             worker.status = "down"
@@ -720,13 +818,7 @@ class ShardCluster:
                         "shard %d reported no final result (%r); merging "
                         "without it", worker.index, exc,
                     )
-            await _reap(worker.process)
-        for worker in self._workers:
-            if worker.ring is not None:
-                worker.ring.close()
-                worker.ring.unlink()
-                worker.ring = None
-                worker.ring_enabled = False
+            await self._retire_worker_resources(worker, release_ring=True)
         if not per_shard:
             raise ShardDownError(
                 "every shard worker died without reporting a result"
@@ -774,6 +866,9 @@ class ShardCluster:
                 "shm": self.shm,
                 "ring_records": [w["ring_records"] for w in workers],
                 "ring_fallbacks": [w["ring_fallbacks"] for w in workers],
+                "durability": self.log_dir is not None,
+                "replayed_records": [w["replayed_records"] for w in workers],
+                "replay_lag_s": [w["replay_lag_s"] for w in workers],
             },
         )
 

@@ -180,6 +180,16 @@ class MetricsStreamer:
                 f" workers={up}/{len(workers)}up"
                 f" restarts={restarts} shed={shed}"
             )
+        # Durability digest: merged cluster snapshots carry per-shard
+        # lists, a single durable runtime carries scalars.
+        replayed = extras.get("replayed_records")
+        if replayed is not None:
+            lag = extras.get("replay_lag_s", 0.0)
+            if isinstance(replayed, list):
+                replayed = sum(replayed)
+                lag = max(lag) if lag else 0.0
+            if replayed:
+                line += f" replayed={replayed} replag={lag * 1e3:.0f}ms"
         return line
 
 

@@ -376,16 +376,27 @@ class FrameDecoder:
             router's fast path, which routes via :func:`peek_update_route`
             and forwards the frame without ever building the object.
             Specs and JSON frames are unaffected.
+        max_body: Body-length cap above which a header is treated as
+            corrupt and the session aborted.  Live sessions keep the
+            default (:data:`MAX_FRAME_BODY`); the durability log reader
+            lowers it to its largest legal record so a garbage length in
+            a torn tail frame stops replay instead of waiting on 16 MiB
+            of bytes that will never arrive.
     """
 
-    __slots__ = ("_buffer", "_parse_json", "_raw_updates")
+    __slots__ = ("_buffer", "_parse_json", "_raw_updates", "_max_body")
 
     def __init__(
-        self, *, parse_json: bool = True, raw_updates: bool = False
+        self,
+        *,
+        parse_json: bool = True,
+        raw_updates: bool = False,
+        max_body: int = MAX_FRAME_BODY,
     ) -> None:
         self._buffer = bytearray()
         self._parse_json = parse_json
         self._raw_updates = raw_updates
+        self._max_body = max_body
 
     @property
     def pending_bytes(self) -> int:
@@ -406,7 +417,7 @@ class FrameDecoder:
         unpack_header = FRAME_HEADER.unpack_from
         while total - offset >= header_size:
             tag, length = unpack_header(view, offset)
-            if length > MAX_FRAME_BODY:
+            if length > self._max_body:
                 view.release()
                 del buffer[:]
                 raise ValueError(

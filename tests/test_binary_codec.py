@@ -247,6 +247,25 @@ def test_decoder_raises_on_absurd_frame_length():
         decoder.feed(FRAME_HEADER.pack(TAG_UPDATE, MAX_FRAME_BODY + 1))
 
 
+def test_decoder_max_body_is_tunable():
+    """A caller that knows its frames are small (the update log: 46-byte
+    bodies) can lower the cap, turning a corrupt length that would have
+    buffered quietly below 16 MiB into an immediate refusal."""
+    update = Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1,
+                    value=1.0, generation_time=0.0, arrival_time=0.0)
+    frame = encode_frame(update)
+    body_size = len(frame) - FRAME_HEADER.size
+    tight = FrameDecoder(max_body=body_size)
+    (out,) = tight.feed(frame)  # exactly at the cap still decodes
+    assert isinstance(out, Update)
+    with pytest.raises(ValueError, match="corrupt"):
+        tight.feed(FRAME_HEADER.pack(TAG_UPDATE, body_size + 1))
+    # The default cap is unchanged: the same length is merely buffered.
+    lax = FrameDecoder()
+    assert lax.feed(FRAME_HEADER.pack(TAG_UPDATE, body_size + 1)) == []
+    assert lax.pending_bytes == FRAME_HEADER.size
+
+
 def test_decode_rejects_trailing_bytes():
     frame = encode_frame(
         Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1, value=1.0,
