@@ -1,0 +1,112 @@
+"""Cross-shard transaction cost: what scatter-gather adds per commit.
+
+One measurement: a real 2-shard :class:`ShardCluster` (worker processes,
+binary internal hop) serves a pipelined stream of transactions whose
+read-sets span both shards, so every submit fans out into two sub-reads
+over the RPC layer and gathers one merged verdict.  The benchmark
+records the sustained fan-out round-trip rate and the cluster's own
+observed per-sub-read p99 latency, and checks the books: every parent
+commits, every sub-read is accounted to its shard, nothing misses.
+
+Run with ``pytest benchmarks/bench_cross_shard.py --benchmark-only``.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.config import baseline_config
+from repro.db.objects import ObjectClass
+from repro.live import ShardCluster
+from repro.workload.trace import spec_to_dict
+from repro.workload.transactions import TransactionSpec
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+TRANSACTIONS = 50 if QUICK else 400
+
+#: Pipelining depth: submits in flight before the first reply is read.
+WINDOW = 32
+
+
+def _config():
+    config = baseline_config(duration=1.0, seed=2026)
+    config.warmup = 0.0
+    config = config.with_updates(arrival_rate=100.0, mean_age=0.0)
+    config = config.with_transactions(arrival_rate=5.0)
+    return config.with_system(ips=5e8)
+
+
+def _cross_shard_reads(router):
+    """One low-view gid per shard — the minimal 2-shard read-set."""
+    reads = {}
+    for gid in range(router.n_low):
+        shard = router.shard_of(ObjectClass.VIEW_LOW, gid)
+        reads.setdefault(shard, gid)
+        if len(reads) == router.shards:
+            break
+    return tuple(reads[shard] for shard in sorted(reads))
+
+
+async def _drive_cluster():
+    cluster = ShardCluster(_config(), "TF", shards=2, flush_us=0.0)
+    host, port = await cluster.start()
+    reader, writer = await asyncio.open_connection(host, port)
+    reads = _cross_shard_reads(cluster.router)
+    replies = []
+
+    async def read_replies(count):
+        while len(replies) < count:
+            line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+            assert line, "cluster dropped the bench session"
+            record = json.loads(line)
+            if record.get("kind") == "outcome":
+                replies.append(record)
+
+    started = time.perf_counter()
+    for seq in range(TRANSACTIONS):
+        spec = TransactionSpec(
+            seq=seq, arrival_time=0.0, high_value=False, value=5.0,
+            compute_time=1e-5, reads=reads, slack=5.0,
+        )
+        writer.write(json.dumps(spec_to_dict(spec)).encode() + b"\n")
+        if seq % WINDOW == WINDOW - 1:
+            await writer.drain()
+            await read_replies(seq + 1 - WINDOW)
+    await writer.drain()
+    await read_replies(TRANSACTIONS)
+    elapsed = time.perf_counter() - started
+
+    writer.close()
+    result = await asyncio.wait_for(
+        cluster.shutdown(drain_timeout=1.0), timeout=30.0
+    )
+    return replies, result, elapsed
+
+
+def test_cross_shard_round_trip_rate(benchmark):
+    outputs = []
+
+    def run():
+        outputs.append(asyncio.run(_drive_cluster()))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    replies, result, elapsed = outputs[-1]
+    rate = TRANSACTIONS / elapsed
+    sub_p99 = result.extras["sub_read_latency_p99"]
+    benchmark.extra_info["cross_shard_round_trips_per_second"] = rate
+    benchmark.extra_info["sub_read_latency_p99_ms"] = sub_p99 * 1e3
+    benchmark.extra_info["transactions"] = TRANSACTIONS
+    print(f"\ncross-shard round trips: {rate:,.0f}/s over 2 shards "
+          f"(sub-read p99 {sub_p99 * 1e3:.2f}ms, {TRANSACTIONS} txns)")
+
+    # Every parent merged from a full fan-out and committed …
+    assert len(replies) == TRANSACTIONS
+    assert all(r["fanout"] == 2 for r in replies)
+    assert all(r["outcome"] == "committed" for r in replies)
+    # … and the cluster's scatter-gather books agree.
+    assert result.extras["cross_shard_submits"] == TRANSACTIONS
+    assert result.extras["fanout_sub_reads"] == [TRANSACTIONS, TRANSACTIONS]
+    assert result.extras["sub_read_deadline_misses"] == [0, 0]
+    assert result.transaction_conservation_gap() == 0

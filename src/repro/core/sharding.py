@@ -132,6 +132,86 @@ def route_spec(
     return shard, dataclass_replace(spec, reads=tuple(local_reads))
 
 
+def split_spec(
+    router: ShardRouter, spec: TransactionSpec
+) -> "dict[int, TransactionSpec]":
+    """Split one global spec into per-shard sub-reads (the scatter half).
+
+    Returns an insertion-ordered mapping ``shard -> sub-spec``.  Each
+    sub-spec keeps the parent's seq, arrival time, value, compute time,
+    and slack, and carries only the shard-local ids of the reads that
+    shard owns — so every shard's local firm deadline
+    (``arrival + estimate + slack``) is at or before the parent's, and
+    the gathered verdict can only be stricter than a single-shard run,
+    never laxer.  A readless spec maps whole onto one shard by stable
+    hash of its sequence number.  A single-entry result means the
+    transaction is *not* cross-shard and can be forwarded as-is.
+    """
+    if not spec.reads:
+        return {router.hash_shard(spec.seq): spec}
+    pieces = router.split_reads(spec.view_class, spec.reads)
+    if len(pieces) == 1:
+        shard, local = next(iter(pieces.items()))
+        return {shard: dataclass_replace(spec, reads=tuple(local))}
+    return {
+        shard: dataclass_replace(spec, reads=tuple(local))
+        for shard, local in pieces.items()
+    }
+
+
+#: Sub-read outcomes that contribute *no* usable read result.  A failed
+#: RPC (deadline, closed channel, shard down) is recorded as a miss with
+#: its reason in ``failure``.
+_FAILED_OUTCOMES = ("missed",)
+
+
+def merge_verdicts(sub_outcomes: "list[dict]") -> dict:
+    """Merge per-shard sub-read outcomes into one parent verdict.
+
+    The gather half of a cross-shard transaction, implementing the
+    paper's MA/UU semantics across shards:
+
+    * ``read_stale`` is an *any* — a transaction that read one stale
+      object anywhere is a stale read, no matter how fresh the other
+      shards were (stale-anywhere = stale).
+    * Under ``StaleReadAction.ABORT`` any shard aborting on staleness
+      aborts the whole transaction (``aborted-stale``).
+    * Otherwise any sub-read that missed its firm deadline — including
+      one whose RPC failed (``failure`` key: sub-read deadline, closed
+      channel, shard down) — makes the parent a miss: the firm deadline
+      is enforced across the *slowest* shard.
+    * Otherwise any shard rejecting (draining worker) rejects the parent.
+    * Only a transaction every shard committed commits.
+
+    ``finish_time`` is the max over the sub-reads that reported one —
+    the slowest shard finishes the transaction.
+
+    Each entry of ``sub_outcomes`` needs ``outcome``, ``read_stale``,
+    and ``finish_time`` keys (the wire's outcome-record schema).
+    """
+    if not sub_outcomes:
+        raise ValueError("cannot merge zero sub-read outcomes")
+    read_stale = any(sub.get("read_stale") for sub in sub_outcomes)
+    outcomes = [sub.get("outcome") for sub in sub_outcomes]
+    if "aborted-stale" in outcomes:
+        outcome = "aborted-stale"
+    elif any(out in _FAILED_OUTCOMES for out in outcomes):
+        outcome = "missed"
+    elif "rejected" in outcomes:
+        outcome = "rejected"
+    else:
+        outcome = "committed"
+    finish_times = [
+        sub["finish_time"] for sub in sub_outcomes
+        if sub.get("finish_time") is not None
+    ]
+    return {
+        "outcome": outcome,
+        "read_stale": read_stale,
+        "finish_time": max(finish_times) if finish_times else None,
+    }
+
+
 def route_batch(router: ShardRouter, items, on_error=None) -> "dict[int, list]":
     """Group one decoded arrival batch by owning shard.
 

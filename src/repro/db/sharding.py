@@ -143,6 +143,32 @@ class ShardRouter:
         (e.g. the sequence number of a transaction with no reads)."""
         return stable_hash(value) % self.shards
 
+    def split_reads(
+        self, klass: ObjectClass, reads: "tuple[int, ...]"
+    ) -> "dict[int, list[int]]":
+        """Group a global read-set by owning shard, as shard-local ids.
+
+        The scatter half of a cross-shard transaction: each entry of the
+        returned (insertion-ordered) dict is one shard's slice of the
+        read-set, translated to that shard's dense local ids with the
+        read order preserved within the slice.
+        """
+        shard_table = (
+            self._shard_low if _class_bit(klass) == 0 else self._shard_high
+        )
+        local_table = (
+            self._local_low if _class_bit(klass) == 0 else self._local_high
+        )
+        by_shard: dict[int, list[int]] = {}
+        for gid in reads:
+            shard = shard_table[gid]
+            bucket = by_shard.get(shard)
+            if bucket is None:
+                by_shard[shard] = [local_table[gid]]
+            else:
+                bucket.append(local_table[gid])
+        return by_shard
+
     # ------------------------------------------------------------------
     # Buffer budgets
     # ------------------------------------------------------------------

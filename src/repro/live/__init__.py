@@ -52,7 +52,7 @@ from repro.live.durability import (
     read_log,
     restore_state,
 )
-from repro.live.loadgen import LoadGenerator, WireClient
+from repro.live.loadgen import CrossShardSpreader, LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.server import IngestServer
@@ -61,11 +61,16 @@ from repro.live.wire import (
     PROTOCOL_BINARY,
     PROTOCOL_JSONL,
     WIRE_PROTOCOLS,
+    RpcChannel,
+    RpcClosedError,
+    RpcDeadlineError,
+    RpcError,
     connect_with_retry,
     negotiate_protocol,
 )
 
 __all__ = [
+    "CrossShardSpreader",
     "DurabilityManager",
     "IngestServer",
     "LiveRuntime",
@@ -75,6 +80,10 @@ __all__ = [
     "PROTOCOL_JSONL",
     "Replayer",
     "ReplayStats",
+    "RpcChannel",
+    "RpcClosedError",
+    "RpcDeadlineError",
+    "RpcError",
     "ShardCluster",
     "ShardDownError",
     "ShardedBenchResult",

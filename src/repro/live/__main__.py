@@ -30,7 +30,7 @@ from repro.core.algorithms.registry import ALGORITHMS
 from repro.live.clock import WallClock
 from repro.live.cluster import ShardCluster, run_sharded_bench
 from repro.live.durability import FSYNC_POLICIES, DurabilityManager
-from repro.live.loadgen import LoadGenerator, WireClient
+from repro.live.loadgen import CrossShardSpreader, LoadGenerator, WireClient
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
 from repro.live.server import IngestServer
@@ -41,7 +41,7 @@ from repro.live.wire import (
 )
 from repro.sim.streams import StreamFamily
 from repro.workload.trace import load_trace
-from repro.workload.transactions import TransactionGenerator
+from repro.workload.transactions import TransactionGenerator, TransactionSpec
 from repro.workload.updates import UpdateStreamGenerator
 
 
@@ -183,6 +183,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client wire protocol (default jsonl; binary "
                          "sends struct frames behind the magic-preamble "
                          "handshake — the server negotiates per session)")
+    loadgen.add_argument("--cross-shard-frac", type=float, default=0.0,
+                         metavar="FRAC",
+                         help="rewrite this fraction of multi-read "
+                         "transactions to span shard boundaries (exercises "
+                         "the cluster's scatter-gather path; needs "
+                         "--shards >= 2; default 0 — workload unchanged)")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="shard count of the target deployment, for "
+                         "--cross-shard-frac's routing (default 1)")
 
     bench = sub.add_parser("bench",
                            help="in-process throughput/latency benchmark")
@@ -355,6 +364,8 @@ async def _loadgen(args) -> int:
         if record.get("kind") == "outcome":
             key = record.get("outcome", "?")
             counts[key] = counts.get(key, 0) + 1
+            if record.get("fanout"):  # merged cross-shard verdict
+                counts["cross_shard"] = counts.get("cross_shard", 0) + 1
         elif record.get("kind") == "error" and record.get("reason") == "shard_down":
             counts["shed_shard_down"] = counts.get("shed_shard_down", 0) + 1
 
@@ -364,6 +375,14 @@ async def _loadgen(args) -> int:
         on_line=on_line, wire=args.wire,
     )
     await client.connect()
+    config = _build_config(args)
+    streams = StreamFamily(config.seed)
+    spreader = None
+    if args.cross_shard_frac > 0.0:
+        spreader = CrossShardSpreader(
+            config.updates.n_low, config.updates.n_high, streams,
+            frac=args.cross_shard_frac, shards=args.shards,
+        )
     sent = 0
     start = time.monotonic()
 
@@ -378,14 +397,14 @@ async def _loadgen(args) -> int:
     if args.trace is not None:
         items = load_trace(args.trace)
         for item in sorted(items, key=lambda i: i.arrival_time):
+            if spreader is not None and isinstance(item, TransactionSpec):
+                item = spreader.spread(item)
             delay = item.arrival_time - (time.monotonic() - start)
             if delay > 0:
                 await asyncio.sleep(delay)
             await write_item(item)
             await client.backpressure()
     else:
-        config = _build_config(args)
-        streams = StreamFamily(config.seed)
         update_gen = UpdateStreamGenerator(config, None, streams, lambda _: None)
         txn_gen = TransactionGenerator(config, None, streams, lambda _: None)
         next_update = update_gen.next_interarrival()
@@ -404,7 +423,10 @@ async def _loadgen(args) -> int:
                 await write_item(update_gen.draw_update(next_update))
                 next_update += update_gen.next_interarrival()
             else:
-                await write_item(txn_gen.draw_spec(next_txn))
+                spec = txn_gen.draw_spec(next_txn)
+                if spreader is not None:
+                    spec = spreader.spread(spec)
+                await write_item(spec)
                 next_txn += txn_gen.next_interarrival()
             await client.backpressure()
 

@@ -9,8 +9,17 @@ difference — and:
 
 * rewrites each ``update`` / ``transaction`` record onto its owning
   shard (stable hash of the global object id, shard-local ids on the
-  wire to the worker) and forwards it there, pumping outcome replies
-  back to the client verbatim;
+  wire to the worker) and forwards it there over a per-shard
+  :class:`~repro.live.wire.RpcChannel` — unmatched worker replies
+  (single-shard outcomes) push straight back to the client;
+* **scatter-gathers cross-shard transactions**: a spec whose read-set
+  spans shards is split per owner (:meth:`ShardRouter.split_reads`),
+  each sub-read submitted under a fresh correlation id, and the
+  per-shard verdicts merged with the paper's MA/UU semantics — stale
+  *anywhere* is stale, and the firm deadline is one shared window over
+  the *slowest* shard (:func:`~repro.core.sharding.merge_verdicts`).
+  This is deliberately not 2PC: sub-reads are read-only against each
+  shard's local view, so there is nothing to prepare or roll back;
 * answers ``{"kind": "snapshot"}`` with the *merged* fleet snapshot —
   per-shard snapshots fanned in over the workers' own wire protocol and
   aggregated by :meth:`SimulationResult.merge`, with the router's
@@ -68,7 +77,7 @@ sockets — it measures scheduler capacity, not socket throughput).
 from __future__ import annotations
 
 import asyncio
-import json
+import itertools
 import logging
 import multiprocessing
 import os
@@ -76,12 +85,12 @@ import signal
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.config import SimulationConfig
-from repro.core.sharding import route_batch, shard_config
+from repro.core.sharding import merge_verdicts, route_batch, shard_config
 from repro.db.sharding import ShardRouter
 from repro.live.clock import WallClock
 from repro.live.durability import DurabilityManager
 from repro.live.loadgen import LoadGenerator
-from repro.live.runtime import LiveRuntime
+from repro.live.runtime import LatencyTracker, LiveRuntime
 from repro.db.objects import Update
 from repro.live.server import IngestServer
 from repro.live.shm import DEFAULT_RING_BYTES, SpscRing
@@ -92,10 +101,13 @@ from repro.live.wire import (
     PROTOCOL_JSONL,
     WIRE_PROTOCOLS,
     CoalescingWriter,
+    RpcChannel,
+    RpcClosedError,
+    RpcDeadlineError,
+    RpcError,
     WireProtocolError,
     connect_with_retry,
     encode_reply,
-    frame_reply_body,
     iter_frame_batches,
     iter_line_batches,
     negotiate_protocol,
@@ -103,13 +115,15 @@ from repro.live.wire import (
 from repro.metrics.results import SimulationResult
 from repro.metrics.storage import result_from_dict
 from repro.workload.codec import (
-    WIRE_PREAMBLE,
+    TAG_SPEC,
     BinaryCodec,
     decode_lines,
     encode_frame,
-    encode_frames,
     encode_lines,
     item_from_record,
+    peek_spec_budget,
+    peek_spec_route,
+    reroute_spec_frame,
 )
 from repro.workload.transactions import TransactionSpec
 
@@ -136,6 +150,12 @@ _POLL_INTERVAL = 0.02
 
 #: Per-stage wait inside the join -> terminate -> kill escalation.
 _REAP_GRACE = 2.0
+
+#: Correlation-id floor for cross-shard sub-reads.  Sub-reads share the
+#: worker's outcome-correlation keyspace with pass-through client seqs,
+#: so their rids start far above any plausible client sequence number —
+#: still comfortably inside the wire format's int64.
+_RID_BASE = 1 << 62
 
 
 class ShardDownError(ConnectionError):
@@ -489,6 +509,11 @@ class ShardCluster:
         shutdown_grace: Extra seconds past ``drain_timeout`` that
             :meth:`shutdown` waits for each worker's final result before
             declaring the shard dead and escalating.
+        rpc_grace: Extra seconds on top of a cross-shard transaction's
+            own firm deadline (execution estimate + slack) before the
+            router gives up on a shard's sub-read and scores it a
+            deadline miss — covers the scatter/gather wire hops, which
+            the spec's deadline does not know about.
         wire: Protocol of the internal router→worker hop: ``"binary"``
             (default — struct frames, no JSON on the hot path) or
             ``"jsonl"``.  Independent of what clients speak on the
@@ -523,6 +548,7 @@ class ShardCluster:
         snapshot_timeout: float = 10.0,
         connect_attempts: int = 6,
         shutdown_grace: float = 10.0,
+        rpc_grace: float = 0.25,
         wire: str = PROTOCOL_BINARY,
         shm: bool = False,
         ring_bytes: int = DEFAULT_RING_BYTES,
@@ -557,6 +583,7 @@ class ShardCluster:
         self.snapshot_timeout = snapshot_timeout
         self.connect_attempts = connect_attempts
         self.shutdown_grace = shutdown_grace
+        self.rpc_grace = rpc_grace
         self.wire = wire
         self.shm = shm
         self.ring_bytes = ring_bytes
@@ -568,6 +595,17 @@ class ShardCluster:
         )
         self.records_received = 0
         self.errors = 0
+        # Cross-shard scatter-gather accounting (merged into extras).
+        self.cross_shard_submits = 0
+        self.fanout_sub_reads = [0] * shards
+        self.sub_read_misses = [0] * shards
+        self.sub_read_aborts = [0] * shards
+        self.sub_read_deadline_misses = [0] * shards
+        self.sub_read_latency = LatencyTracker()
+        # One cluster-wide correlation-id counter: a sub-read's rid is
+        # unique across sessions, so per-worker outcome keys never collide.
+        self._rid = itertools.count(1)
+        self._control: "dict[int, RpcChannel]" = {}
         self._workers: list[WorkerState] = []
         self._context = None
         self._server: asyncio.AbstractServer | None = None
@@ -796,6 +834,9 @@ class ShardCluster:
         if self._restart_tasks:
             await asyncio.gather(*self._restart_tasks, return_exceptions=True)
         await self.stop_ingest()
+        for channel in self._control.values():
+            await channel.aclose()
+        self._control.clear()
         for worker in self._workers:
             if worker.status == "down" or worker.conn is None:
                 continue
@@ -864,6 +905,16 @@ class ShardCluster:
                 "merged_shards": list(indices),
                 "wire": self.wire,
                 "shm": self.shm,
+                "cross_shard_submits": self.cross_shard_submits,
+                "fanout_sub_reads": list(self.fanout_sub_reads),
+                "sub_read_misses": list(self.sub_read_misses),
+                "sub_read_aborts": list(self.sub_read_aborts),
+                "sub_read_deadline_misses": list(
+                    self.sub_read_deadline_misses
+                ),
+                "sub_read_latency_p99": self.sub_read_latency.percentile(
+                    0.99
+                ),
                 "ring_records": [w["ring_records"] for w in workers],
                 "ring_fallbacks": [w["ring_fallbacks"] for w in workers],
                 "durability": self.log_dir is not None,
@@ -916,6 +967,7 @@ class ShardCluster:
             asyncio.TimeoutError,
             TimeoutError,
             asyncio.IncompleteReadError,
+            RpcError,
         ) as exc:
             # The supervisor owns the status transition (it can tell a
             # crash from a transient hiccup via the process sentinel);
@@ -923,53 +975,71 @@ class ShardCluster:
             logger.warning("snapshot of shard %d failed: %r", worker.index, exc)
             return None
 
-    async def _shard_snapshot(self, shard: int) -> SimulationResult:
-        """One worker's own snapshot over its wire protocol.
+    async def _control_channel(self, shard: int) -> RpcChannel:
+        """The cluster's persistent control channel to one worker.
 
-        Raises:
-            ShardDownError: on EOF — the worker died between the
-                connection and the reply (an empty ``readline`` must not
-                surface as a ``json.JSONDecodeError`` crash).
+        Carries low-rate request/reply traffic (snapshots) over the same
+        :class:`RpcChannel` correlation machinery as the data plane; a
+        channel whose transport died (worker crash/restart) is discarded
+        and reopened against the worker's *current* port.
         """
+        channel = self._control.get(shard)
+        if channel is not None:
+            if not channel.closing:
+                return channel
+            del self._control[shard]
+            await channel.aclose()
         reader, writer = await connect_with_retry(
             "127.0.0.1",
             lambda: self._workers[shard].port,
             attempts=self.connect_attempts,
         )
+        # Control traffic is rare: flush every request immediately.
+        channel = RpcChannel(
+            reader, writer, protocol=self.wire, batch_max=1, flush_us=0.0
+        )
+        self._control[shard] = channel
+        return channel
+
+    async def _shard_snapshot(self, shard: int) -> SimulationResult:
+        """One worker's own snapshot, as an RPC over the control channel.
+
+        Raises:
+            ShardDownError: when the channel closed with the call in
+                flight — the worker died between the request and the
+                reply (must not surface as a decode crash).
+        """
+        channel = await self._control_channel(shard)
+        rid = next(self._rid)
         try:
-            writer.write(b'{"kind": "snapshot"}\n')
-            await writer.drain()
-            line = await reader.readline()
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-        if not line:
+            record = await channel.call({"kind": "snapshot", "rid": rid}, rid)
+        except RpcClosedError as exc:
             raise ShardDownError(
-                f"shard {shard} closed the snapshot connection (EOF)"
-            )
-        record = json.loads(line)
+                f"shard {shard} closed the snapshot channel ({exc.message})"
+            ) from exc
+        record = dict(record)
         record.pop("kind", None)
+        record.pop("rid", None)
         return result_from_dict(record)
 
     # ------------------------------------------------------------------
     # Public router socket
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
-        """One client session: route record batches, pump outcomes back.
+        """One client session: route record batches, relay replies back.
 
         The session's protocol is negotiated from its first bytes, same
         as a plain :class:`~repro.live.server.IngestServer` session; it
         is independent of the internal hop's protocol (``self.wire``) —
-        the pumps re-frame replies between the two.
+        each upstream :class:`RpcChannel` re-frames pushed replies into
+        the client's protocol.
 
         A shard worker dying mid-session never tears the session down:
         its records are shed with typed error replies (see
         :meth:`_shed`) while the other shards keep answering.
         """
-        upstreams: "dict[int, tuple[CoalescingWriter, asyncio.Task]]" = {}
+        upstreams: "dict[int, RpcChannel]" = {}
+        merges: "set[asyncio.Task]" = set()
         downstream = CoalescingWriter(
             writer, batch_max=self.batch_max, flush_us=self.flush_us
         )
@@ -977,17 +1047,18 @@ class ShardCluster:
         try:
             protocol, leftover = await negotiate_protocol(reader)
             if protocol == PROTOCOL_BINARY:
-                # With a binary hop, update frames stay raw end to end:
-                # routed by field peek, forwarded byte-identical (object
-                # id patched), never materialized in the router.
+                # With a binary hop, update and spec frames stay raw end
+                # to end: routed by field peek, forwarded byte-identical
+                # (ids patched), never materialized in the router.
+                raw = self.wire == PROTOCOL_BINARY
                 batches = iter_frame_batches(
-                    reader, raw_updates=self.wire == PROTOCOL_BINARY
+                    reader, raw_updates=raw, raw_specs=raw
                 )
             else:
                 batches = _jsonl_record_batches(reader, leftover)
             async for records in batches:
                 await self._dispatch_batch(
-                    records, downstream, upstreams, protocol
+                    records, downstream, upstreams, protocol, merges
                 )
                 await downstream.backpressure()
         except WireProtocolError as exc:
@@ -1000,53 +1071,74 @@ class ShardCluster:
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
-            await self._close_session(upstreams, downstream)
+            await self._close_session(upstreams, downstream, merges)
 
-    async def _close_session(self, upstreams, downstream) -> None:
-        """Tear down one session's upstream pumps and writers.
+    async def _close_session(self, upstreams, downstream, merges=()) -> None:
+        """Tear down one session's merge tasks, channels, and writers.
 
-        Cancellation of the *handler itself* (server shutdown while the
-        teardown runs) propagates out of the ``asyncio.wait``; a pump
-        that failed with a real exception is logged and counted in
+        In-flight cross-shard gathers die with their client (nobody is
+        left to read the merged outcome); an upstream channel whose
+        reader failed with a real exception is logged and counted in
         ``protocol_errors`` instead of being silently swallowed.
         """
-        pumps = [pump for _, pump in upstreams.values()]
-        for pump in pumps:
-            pump.cancel()
-        if pumps:
-            done, _ = await asyncio.wait(pumps)
-            for task in done:
-                if task.cancelled():
-                    continue
-                exc = task.exception()
-                if exc is not None:
-                    self.errors += 1
-                    logger.warning("outcome pump failed: %r", exc)
-        for up, _ in upstreams.values():
-            await up.aclose()
+        for task in list(merges):
+            task.cancel()
+        if merges:
+            await asyncio.gather(*merges, return_exceptions=True)
+        for channel in upstreams.values():
+            await channel.aclose()
+            if channel.failure is not None:
+                self.errors += 1
+                logger.warning(
+                    "upstream reply channel failed: %r", channel.failure
+                )
         await downstream.aclose()
 
     async def _dispatch_batch(
-        self, records, downstream, upstreams, protocol=PROTOCOL_JSONL
+        self,
+        records,
+        downstream,
+        upstreams,
+        protocol=PROTOCOL_JSONL,
+        merges=None,
     ) -> None:
         """Route one decoded wire batch, forward per (shard, batch).
 
         ``records`` mixes dicts (JSONL lines, JSON frames),
-        already-built :class:`Update` / :class:`TransactionSpec`
-        instances (binary frames), and ``Exception`` entries.  A
-        snapshot request flushes the routable records collected so far
-        (so it observes every earlier record on each shard's connection),
-        then answers with the merged fleet snapshot.  A malformed record
-        gets its error reply and its neighbors proceed — same per-record
-        error semantics as the unbatched path.
+        already-built :class:`Update` instances or raw update/spec
+        frames (binary sessions), :class:`TransactionSpec` instances,
+        and ``Exception`` entries.  Updates batch per shard through
+        :meth:`_forward`; every transaction goes through
+        :meth:`_submit_spec` (single-owner pass-through or cross-shard
+        scatter-gather), flushing the updates collected so far first so
+        the transaction observes every earlier record on each shard's
+        connection.  A snapshot request likewise flushes, then answers
+        with the merged fleet snapshot.  A malformed record gets its
+        error reply and its neighbors proceed — same per-record error
+        semantics as the unbatched path.
         """
+        if merges is None:
+            merges = set()
         items: list = []
         for record in records:
             try:
                 if isinstance(record, Exception):
                     raise record
-                if isinstance(record, (Update, TransactionSpec, bytes)):
-                    items.append(record)  # bytes = raw update frame
+                if isinstance(record, bytes) and record[0] != TAG_SPEC:
+                    items.append(record)  # raw update frame
+                    continue
+                if isinstance(record, Update):
+                    items.append(record)
+                    continue
+                if isinstance(record, (TransactionSpec, bytes)):
+                    if items:
+                        await self._forward(
+                            items, downstream, upstreams, protocol
+                        )
+                        items = []
+                    await self._submit_spec(
+                        record, downstream, upstreams, protocol, merges
+                    )
                     continue
                 if isinstance(record, dict) and record.get("kind") == "snapshot":
                     await self._forward(items, downstream, upstreams, protocol)
@@ -1074,23 +1166,207 @@ class ShardCluster:
                     # buffer without bound.
                     await downstream.backpressure()
                     continue
-                items.append(item_from_record(record))
+                item = item_from_record(record)
+                if isinstance(item, TransactionSpec):
+                    if items:
+                        await self._forward(
+                            items, downstream, upstreams, protocol
+                        )
+                        items = []
+                    await self._submit_spec(
+                        item, downstream, upstreams, protocol, merges
+                    )
+                else:
+                    items.append(item)
             except (ValueError, KeyError, TypeError) as exc:
                 self.errors += 1
                 self.router.note_routing_error()
                 self._error_reply(downstream, exc, protocol)
         await self._forward(items, downstream, upstreams, protocol)
 
+    async def _submit_spec(
+        self, item, downstream, upstreams, protocol, merges
+    ) -> None:
+        """Route one transaction: pass-through or cross-shard scatter.
+
+        ``item`` is a :class:`TransactionSpec` or a raw binary
+        ``TAG_SPEC`` frame (binary client over a binary hop — split by
+        field peek, re-id'd by in-place patch, never materialized).
+
+        A read-set owned by one shard forwards as-is under the client's
+        own seq; the worker's outcome pushes straight back.  A read-set
+        spanning shards is split per owner, each sub-read submitted
+        under a fresh correlation id (:data:`_RID_BASE` + counter), and
+        a merge task gathers the per-shard verdicts under one shared
+        firm-deadline window (see :meth:`_gather_verdict`).  The scatter
+        refuses to start against a down owner: the whole transaction is
+        shed with one typed ``shard_down`` reply instead of burning the
+        live shards' work on a verdict that cannot commit.
+        """
+        router = self.router
+        self.records_received += 1
+        try:
+            if isinstance(item, bytes):
+                klass, seq, reads = peek_spec_route(item)
+                compute_time, slack = peek_spec_budget(item)
+                split = (
+                    router.split_reads(klass, reads)
+                    if reads
+                    else {router.hash_shard(seq): ()}
+                )
+
+                def make_sub(sub_id, local):
+                    return reroute_spec_frame(item, sub_id, local)
+
+            else:
+                seq = item.seq
+                reads = item.reads
+                compute_time, slack = item.compute_time, item.slack
+                split = (
+                    router.split_reads(item.view_class, reads)
+                    if reads
+                    else {router.hash_shard(seq): ()}
+                )
+
+                def make_sub(sub_id, local):
+                    return replace(item, seq=sub_id, reads=tuple(local))
+
+        except (ValueError, IndexError) as exc:
+            self.errors += 1
+            router.note_routing_error()
+            self._error_reply(downstream, exc, protocol)
+            return
+        if self.wire == PROTOCOL_BINARY:
+            def encode_one(sub):
+                return sub if isinstance(sub, bytes) else encode_frame(sub)
+        else:
+            def encode_one(sub):
+                return encode_lines([sub])
+        if len(split) == 1:
+            shard, local = next(iter(split.items()))
+            worker = self._workers[shard]
+            router.note_transaction_routed(shard)
+            if worker.status != "up":
+                self._shed(worker, 1, downstream, protocol)
+                return
+            try:
+                channel = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+                channel.post(encode_one(make_sub(seq, local)))
+                await channel.backpressure()
+            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+                self._shed(worker, 1, downstream, protocol)
+            return
+        down = [s for s in split if self._workers[s].status != "up"]
+        if down:
+            self._shed(self._workers[down[0]], 1, downstream, protocol)
+            return
+        channels = {}
+        try:
+            for shard in split:
+                channels[shard] = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+        except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+            self._shed(self._workers[shard], 1, downstream, protocol)
+            return
+        self.cross_shard_submits += 1
+        subs = []
+        for shard, local in split.items():
+            channel = channels[shard]
+            rid = _RID_BASE + next(self._rid)
+            channel.expect(rid)
+            channel.post(encode_one(make_sub(rid, local)))
+            channel.flush()
+            router.note_transaction_routed(shard)
+            self.fanout_sub_reads[shard] += 1
+            subs.append((shard, rid, channel))
+        # One shared window over the whole fan-out: the parent's own
+        # firm deadline (estimate + slack against the *global* read
+        # count) plus the configured wire grace.
+        system = self.config.system
+        timeout = (
+            compute_time
+            + len(reads) * (system.x_lookup / system.ips)
+            + slack
+            + self.rpc_grace
+        )
+        task = asyncio.ensure_future(
+            self._gather_verdict(seq, subs, timeout, downstream, protocol)
+        )
+        merges.add(task)
+        task.add_done_callback(merges.discard)
+
+    async def _gather_verdict(
+        self, seq, subs, timeout, downstream, protocol
+    ) -> None:
+        """Await every sub-read, merge the verdicts, reply to the client.
+
+        The firm deadline is enforced across the *slowest* shard: all
+        sub-reads share one deadline window, and a shard that cannot
+        answer inside it — or whose channel died mid-call — scores a
+        typed failure that merges as a parent miss
+        (:func:`~repro.core.sharding.merge_verdicts`).  Per-shard miss /
+        abort / deadline counters and observed sub-read round-trip
+        latencies feed ``extras``.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        deadline = started + timeout
+        outcomes = []
+        for shard, rid, channel in subs:
+            remaining = max(0.0, deadline - loop.time())
+            try:
+                record = await channel.result(rid, timeout=remaining)
+            except RpcDeadlineError:
+                self.sub_read_deadline_misses[shard] += 1
+                outcomes.append({
+                    "outcome": "missed",
+                    "read_stale": False,
+                    "finish_time": None,
+                    "failure": "sub_read_deadline",
+                })
+                continue
+            except RpcError as exc:
+                self.sub_read_deadline_misses[shard] += 1
+                outcomes.append({
+                    "outcome": "missed",
+                    "read_stale": False,
+                    "finish_time": None,
+                    "failure": exc.reason,
+                })
+                continue
+            self.sub_read_latency.record(loop.time() - started)
+            outcome = record.get("outcome")
+            if outcome == "missed":
+                self.sub_read_misses[shard] += 1
+            elif outcome == "aborted-stale":
+                self.sub_read_aborts[shard] += 1
+            outcomes.append(record)
+        verdict = merge_verdicts(outcomes)
+        reply = {
+            "kind": "outcome",
+            "seq": seq,
+            "outcome": verdict["outcome"],
+            "read_stale": verdict["read_stale"],
+            "finish_time": verdict["finish_time"],
+            "fanout": len(subs),
+        }
+        downstream.write(encode_reply(reply, protocol))
+        await downstream.backpressure()
+
     async def _forward(
         self, items, downstream, upstreams, protocol=PROTOCOL_JSONL
     ) -> None:
-        """Group a decoded batch by shard; one coalesced write per shard.
+        """Group a decoded update batch by shard; one write per shard.
 
-        With shm rings enabled, each shard's *updates* ride its ring as
-        one binary blob (falling back to TCP when the ring is full or
-        disabled); transactions always go over TCP, whose reply pump
-        carries their outcomes back.  Records owned by a shard that is
-        not up — or whose worker dies between the liveness check and the
+        Transactions never reach this path any more (they go through
+        :meth:`_submit_spec`); what remains is the fire-and-forget
+        update stream.  With shm rings enabled, each shard's updates
+        ride its ring as one binary blob (falling back to TCP when the
+        ring is full or disabled).  Records owned by a shard that is not
+        up — or whose worker dies between the liveness check and the
         write — are shed, not queued: the client gets one ``shard_down``
         error reply per record and the session keeps flowing.
         """
@@ -1114,11 +1390,11 @@ class ShardCluster:
                 if not routed:
                     continue
             try:
-                up = await self._upstream(
+                channel = await self._upstream(
                     shard, downstream, upstreams, protocol
                 )
-                up.write_batch(encode_batch(routed), len(routed))
-                await up.backpressure()
+                channel.post(encode_batch(routed), len(routed))
+                await channel.backpressure()
             except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
                 self._shed(worker, len(routed), downstream, protocol)
 
@@ -1173,89 +1449,50 @@ class ShardCluster:
 
     async def _upstream(
         self, shard: int, downstream, upstreams, protocol
-    ) -> CoalescingWriter:
-        """This client's connection to one shard, opened on first use.
+    ) -> RpcChannel:
+        """This client's RPC channel to one shard, opened on first use.
 
-        The connection speaks ``self.wire`` (a binary hop opens with the
-        preamble); its reply pump re-frames worker replies into the
-        *client* session's protocol.  A cached connection whose pump has
-        ended or whose transport is closing belongs to a dead (or
-        restarted) worker incarnation; it is discarded and reopened
-        against the worker's *current* port —
+        The channel speaks ``self.wire`` (a binary hop opens with the
+        preamble); worker replies that match a pending cross-shard
+        sub-read resolve its future, and everything else — pass-through
+        outcomes, worker error frames — pushes straight back to the
+        client, re-encoded into the session's protocol.  A cached
+        channel that is closing belongs to a dead (or restarted) worker
+        incarnation; it is discarded (its failure, if any, counted) and
+        reopened against the worker's *current* port —
         :func:`~repro.live.wire.connect_with_retry` re-resolves the port
         every attempt, so a restart mid-reconnect still lands.
         """
-        entry = upstreams.get(shard)
-        if entry is not None:
-            up, pump = entry
-            if not up.is_closing and not pump.done():
-                return up
+        channel = upstreams.get(shard)
+        if channel is not None:
+            if not channel.closing:
+                return channel
             del upstreams[shard]
-            await self._collect_pump(pump)
-            await up.aclose()
+            await channel.aclose()
+            if channel.failure is not None:
+                self.errors += 1
+                logger.warning(
+                    "upstream reply channel failed: %r", channel.failure
+                )
         up_reader, up_writer = await connect_with_retry(
             "127.0.0.1",
             lambda: self._workers[shard].port,
             attempts=self.connect_attempts,
         )
-        if self.wire == PROTOCOL_BINARY:
-            up_writer.write(WIRE_PREAMBLE)
-        up = CoalescingWriter(
-            up_writer, batch_max=self.batch_max, flush_us=self.flush_us
+
+        def push_reply(record, _down=downstream, _proto=protocol):
+            _down.write(encode_reply(record, _proto))
+
+        channel = RpcChannel(
+            up_reader,
+            up_writer,
+            protocol=self.wire,
+            batch_max=self.batch_max,
+            flush_us=self.flush_us,
+            on_push=push_reply,
         )
-        pump = asyncio.ensure_future(
-            self._pump(up_reader, downstream, self.wire, protocol)
-        )
-        upstreams[shard] = (up, pump)
-        return up
-
-    async def _collect_pump(self, pump: asyncio.Task) -> None:
-        """Retire one pump task, surfacing (not swallowing) its failure."""
-        pump.cancel()
-        done, _ = await asyncio.wait([pump])
-        task = next(iter(done))
-        if not task.cancelled() and task.exception() is not None:
-            self.errors += 1
-            logger.warning("outcome pump failed: %r", task.exception())
-
-    @staticmethod
-    async def _pump(
-        up_reader,
-        downstream: CoalescingWriter,
-        up_protocol: str = PROTOCOL_JSONL,
-        down_protocol: str = PROTOCOL_JSONL,
-    ) -> None:
-        """Forward worker replies (outcomes) to the client.
-
-        Replies are JSON records in both protocols, so crossing protocol
-        boundaries is a pure *re-framing* of the raw bodies — newline to
-        length prefix or back — never a JSON decode/encode round trip.
-        """
-        try:
-            if up_protocol == PROTOCOL_BINARY:
-                batches = iter_frame_batches(up_reader, parse_json=False)
-            else:
-                batches = iter_line_batches(up_reader)
-            if up_protocol == down_protocol and up_protocol == PROTOCOL_JSONL:
-                async for lines in batches:
-                    downstream.write_batch(
-                        b"\n".join(lines) + b"\n", len(lines)
-                    )
-                    await downstream.backpressure()
-                return
-            async for bodies in batches:
-                payload = b"".join(
-                    [
-                        frame_reply_body(body, down_protocol)
-                        for body in bodies
-                        if isinstance(body, bytes)
-                    ]
-                )
-                if payload:
-                    downstream.write_batch(payload, len(bodies))
-                await downstream.backpressure()
-        except (ConnectionResetError, BrokenPipeError):
-            return
+        upstreams[shard] = channel
+        return channel
 
 
 # ----------------------------------------------------------------------

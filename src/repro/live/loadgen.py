@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import asyncio
 import logging
+from dataclasses import replace as dc_replace
 from typing import Callable, Iterable
 
 from repro.config import UpdatePattern
-from repro.db.objects import Update
+from repro.db.objects import ObjectClass, Update
+from repro.db.sharding import ShardRouter
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
@@ -58,6 +60,93 @@ from repro.workload.updates import UpdateStreamGenerator
 logger = logging.getLogger(__name__)
 
 
+class CrossShardSpreader:
+    """Rewrites a fraction of transactions to span shard boundaries.
+
+    The synthesized read-sets draw from the global keyspace, but with
+    realistic object counts most land on a single shard's slice —
+    useless for exercising the cluster's scatter-gather path.  The
+    spreader deterministically rewrites ``frac`` of the multi-read
+    transactions so that their second read is owned by a *different*
+    shard than their first, guaranteeing a cross-shard submit, using its
+    own named stream (:data:`STREAM`) so a run with ``frac=0`` (which
+    never constructs one) stays draw-for-draw identical to the
+    pre-spreader workload.
+
+    Args:
+        n_low / n_high: Global view-object counts (the router topology).
+        streams: The load generator's stream family.
+        frac: Probability that an eligible (>= 2 reads) transaction is
+            rewritten to span shards.
+        shards: The target deployment's shard count (the spreader builds
+            its own :class:`~repro.db.sharding.ShardRouter`, which is
+            deterministic, so it agrees with the cluster's routing).
+    """
+
+    #: Named stream for the rewrite draws.
+    STREAM = "transactions.cross_shard"
+
+    def __init__(
+        self,
+        n_low: int,
+        n_high: int,
+        streams: StreamFamily,
+        *,
+        frac: float,
+        shards: int,
+    ) -> None:
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError(f"cross-shard fraction must be in [0, 1], got {frac}")
+        if shards < 2:
+            raise ValueError("spreading needs >= 2 shards")
+        self.frac = frac
+        self.shards = shards
+        self.spread_count = 0
+        self._stream = streams.stream(self.STREAM)
+        router = ShardRouter(n_low, n_high, shards)
+        # Per view class: the global ids each shard owns, so a rewrite
+        # can pick a concrete foreign object rather than hunting.
+        self._owned: dict = {}
+        for klass, count in (
+            (ObjectClass.VIEW_LOW, n_low),
+            (ObjectClass.VIEW_HIGH, n_high),
+        ):
+            by_shard: list[list[int]] = [[] for _ in range(shards)]
+            for gid in range(count):
+                by_shard[router.shard_of(klass, gid)].append(gid)
+            self._owned[klass] = by_shard
+        self._router = router
+
+    def spread(self, spec: TransactionSpec) -> TransactionSpec:
+        """Maybe rewrite one spec's second read onto a foreign shard.
+
+        Transactions with fewer than two reads pass through untouched
+        (they cannot span anything); eligible ones consume exactly one
+        uniform draw for the keep/rewrite decision and, when rewriting,
+        two more for the target shard and object — a fixed draw budget,
+        so the rewritten stream is deterministic under the seed.
+        """
+        if len(spec.reads) < 2:
+            return spec
+        if self._stream.uniform(0.0, 1.0) >= self.frac:
+            return spec
+        klass = spec.view_class
+        owner = self._router.shard_of(klass, spec.reads[0])
+        candidates = [
+            shard for shard in range(self.shards)
+            if shard != owner and self._owned[klass][shard]
+        ]
+        if not candidates:
+            return spec  # every foreign shard owns zero objects of klass
+        target = candidates[int(self._stream.uniform(0.0, len(candidates)))
+                            % len(candidates)]
+        pool = self._owned[klass][target]
+        foreign = pool[int(self._stream.uniform(0.0, len(pool))) % len(pool)]
+        reads = (spec.reads[0], foreign) + spec.reads[2:]
+        self.spread_count += 1
+        return dc_replace(spec, reads=reads)
+
+
 class LoadGenerator:
     """Feeds a :class:`LiveRuntime` synthesized or replayed traffic.
 
@@ -71,11 +160,18 @@ class LoadGenerator:
             per-record delivery).  Pacing is unaffected: batching changes
             how overdue arrivals are *handed over*, never when they are
             planned.
+        cross_shard_frac: Fraction of eligible (>= 2 reads) transactions
+            rewritten by a :class:`CrossShardSpreader` to span shards
+            (synthesis *and* replay).  The default ``0.0`` constructs no
+            spreader, keeping existing workloads draw-identical.
+        shards: Target shard count for the spreader (required >= 2 when
+            ``cross_shard_frac > 0``).
 
     Attributes:
         updates_sent / updates_dropped: Ingest attempts and OS-queue drops.
         transactions_sent: Submitted transaction count.
         handles: One :class:`TransactionHandle` per submitted transaction.
+        spreader: The :class:`CrossShardSpreader`, or None.
     """
 
     def __init__(
@@ -84,6 +180,8 @@ class LoadGenerator:
         *,
         seed: int | None = None,
         batch_max: int = DEFAULT_BATCH_MAX,
+        cross_shard_frac: float = 0.0,
+        shards: int = 1,
     ) -> None:
         self.runtime = runtime
         self.batch_max = max(1, batch_max)
@@ -105,6 +203,15 @@ class LoadGenerator:
         self._txn_gen = TransactionGenerator(
             config, self.clock, streams, runtime.submit
         )
+        self.spreader: CrossShardSpreader | None = None
+        if cross_shard_frac > 0.0:
+            self.spreader = CrossShardSpreader(
+                config.updates.n_low,
+                config.updates.n_high,
+                streams,
+                frac=cross_shard_frac,
+                shards=shards,
+            )
         self.updates_sent = 0
         self.updates_dropped = 0
         self.transactions_sent = 0
@@ -187,6 +294,8 @@ class LoadGenerator:
         clock = self.clock
         while True:
             spec = self._txn_gen.draw_spec(clock.now)
+            if self.spreader is not None:
+                spec = self.spreader.spread(spec)
             self.transactions_sent += 1
             self.handles.append(self.runtime.submit(spec))
             self._next_txn_at += self._txn_gen.next_interarrival()
@@ -225,6 +334,8 @@ class LoadGenerator:
             self.updates_dropped += 1
 
     def _replay_txn(self, spec: TransactionSpec) -> None:
+        if self.spreader is not None:
+            spec = self.spreader.spread(spec)
         self.transactions_sent += 1
         self.handles.append(self.runtime.submit(spec))
 

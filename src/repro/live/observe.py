@@ -180,6 +180,16 @@ class MetricsStreamer:
                 f" workers={up}/{len(workers)}up"
                 f" restarts={restarts} shed={shed}"
             )
+        # Scatter-gather digest: only cluster snapshots that actually saw
+        # cross-shard transactions carry these.
+        xshard = extras.get("cross_shard_submits")
+        if xshard:
+            failed = sum(extras.get("sub_read_deadline_misses", ()))
+            sub_p99 = extras.get("sub_read_latency_p99")
+            line += (
+                f" xshard={xshard} subfail={failed}"
+                f" subp99={'n/a' if sub_p99 is None else f'{sub_p99 * 1e3:.2f}ms'}"
+            )
         # Durability digest: merged cluster snapshots carry per-shard
         # lists, a single durable runtime carries scalars.
         replayed = extras.get("replayed_records")

@@ -108,7 +108,8 @@ class TransactionHandle:
         finish_time: Clock time of the final outcome.
     """
 
-    __slots__ = ("spec", "outcome", "read_stale", "warned", "finish_time", "_done")
+    __slots__ = ("spec", "outcome", "read_stale", "warned", "finish_time",
+                 "_done", "_callbacks")
 
     def __init__(self, spec: TransactionSpec) -> None:
         self.spec = spec
@@ -117,6 +118,7 @@ class TransactionHandle:
         self.warned = False
         self.finish_time: float | None = None
         self._done = asyncio.Event()
+        self._callbacks: list = []
 
     @property
     def done(self) -> bool:
@@ -132,17 +134,37 @@ class TransactionHandle:
         assert self.outcome is not None
         return self.outcome
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(handle)`` when the outcome lands.
+
+        Fires synchronously from the resolving call (the controller's
+        outcome hook, or ``submit`` itself on the reject path) —
+        immediately if the handle is already done.  This is how the
+        ingest server turns outcomes into reply writes without parking a
+        task per in-flight transaction.
+        """
+        if self.outcome is not None:
+            fn(self)
+            return
+        self._callbacks.append(fn)
+
+    def _finish(self) -> None:
+        self._done.set()
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     def _resolve(self, txn: LiveTransaction) -> None:
         self.outcome = txn.state.value
         self.read_stale = txn.read_stale
         self.warned = txn.warned
         self.finish_time = txn.finish_time
-        self._done.set()
+        self._finish()
 
     def _reject(self, now: float) -> None:
         self.outcome = "rejected"
         self.finish_time = now
-        self._done.set()
+        self._finish()
 
 
 class LiveRuntime:

@@ -13,6 +13,11 @@ The founding wire format is exactly the trace JSONL format
 * ``{"kind": "snapshot"}`` — replies with one full metrics snapshot line
   (the same record :class:`~repro.live.observe.MetricsStreamer` emits).
 
+Every reply is a valid :class:`~repro.live.wire.RpcChannel` frame: an
+outcome correlates by ``seq``, and a snapshot or error reply echoes the
+request's ``rid`` field when the client sent one, so a caller multiplexing
+requests over one session can match replies without ordering assumptions.
+
 Malformed lines get an ``{"kind": "error", ...}`` reply and the connection
 stays up; a client that disconnects mid-flight simply stops receiving
 outcomes (the transactions it submitted still run to completion).
@@ -43,7 +48,7 @@ import asyncio
 import logging
 from dataclasses import asdict, replace
 
-from repro.live.runtime import LiveRuntime, TransactionHandle
+from repro.live.runtime import LiveRuntime
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
     DEFAULT_FLUSH_US,
@@ -95,7 +100,6 @@ class IngestServer:
         self.records_received = 0
         self.errors = 0
         self._server: asyncio.AbstractServer | None = None
-        self._outcome_tasks: set[asyncio.Task] = set()
 
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
@@ -107,16 +111,17 @@ class IngestServer:
         return self.host, self.port
 
     async def stop(self) -> None:
-        """Stop accepting connections and cancel pending outcome writers."""
+        """Stop accepting connections.
+
+        In-flight transactions run to completion; their outcome
+        callbacks write into (possibly already closed) session writers,
+        which drop the reply exactly as the old task-per-outcome path
+        did.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for task in list(self._outcome_tasks):
-            task.cancel()
-        if self._outcome_tasks:
-            await asyncio.gather(*self._outcome_tasks, return_exceptions=True)
-        self._outcome_tasks.clear()
 
     # ------------------------------------------------------------------
     async def _handle(
@@ -179,30 +184,49 @@ class IngestServer:
         # delivery instant, exactly like a burst in the paper's stream.
         now = runtime.clock.now
         updates: list[Update] = []
+
+        def on_outcome(handle) -> None:
+            # Fires synchronously when the controller (or the reject
+            # path) lands the outcome — the RPC reply for one submitted
+            # transaction, correlated by its seq.
+            self._reply(replies, {
+                "kind": "outcome",
+                "seq": handle.spec.seq,
+                "outcome": handle.outcome,
+                "read_stale": handle.read_stale,
+                "finish_time": handle.finish_time,
+            }, protocol)
+
         for record in records:
+            rid = None
             try:
                 if isinstance(record, Exception):
                     raise record
                 if isinstance(record, (Update, TransactionSpec)):
                     item = record
                 else:
-                    kind = (
-                        record.get("kind") if isinstance(record, dict) else None
-                    )
+                    if isinstance(record, dict):
+                        kind = record.get("kind")
+                        rid = record.get("rid")
+                    else:
+                        kind = None
                     if kind == "snapshot":
                         if updates:
                             runtime.ingest_batch(updates)
                             updates.clear()
                         reply = {"kind": "snapshot"}
+                        if rid is not None:
+                            reply["rid"] = rid
                         reply.update(asdict(runtime.snapshot()))
                         self._reply(replies, reply, protocol)
                         continue
                     item = item_from_record(record)
             except (ValueError, KeyError, TypeError) as exc:
                 self.errors += 1
-                self._reply(
-                    replies, {"kind": "error", "message": str(exc)}, protocol
-                )
+                error = {"kind": "error", "message": str(exc)}
+                if rid is not None:
+                    error["rid"] = rid
+                self._reply(replies, error, protocol)
                 continue
             self.records_received += 1
             if isinstance(item, Update):
@@ -220,47 +244,9 @@ class IngestServer:
                     runtime.ingest_batch(updates)
                     updates.clear()
                 handle = runtime.submit(replace(item, arrival_time=now))
-                task = asyncio.ensure_future(
-                    self._write_outcome(handle, replies, protocol)
-                )
-                self._outcome_tasks.add(task)
-                task.add_done_callback(self._retire_outcome_task)
+                handle.add_done_callback(on_outcome)
         if updates:
             runtime.ingest_batch(updates)
-
-    def _retire_outcome_task(self, task: asyncio.Task) -> None:
-        """Drop a finished outcome writer; surface a real failure.
-
-        A cancelled writer is normal shutdown; anything else means an
-        outcome could not reach its client — counted in ``errors`` and
-        logged instead of dying as an unretrieved task exception.
-        """
-        self._outcome_tasks.discard(task)
-        if task.cancelled():
-            return
-        exc = task.exception()
-        if exc is not None:
-            self.errors += 1
-            logger.warning("outcome writer failed: %r", exc)
-
-    async def _write_outcome(
-        self,
-        handle: TransactionHandle,
-        replies: CoalescingWriter,
-        protocol: str = PROTOCOL_JSONL,
-    ) -> None:
-        outcome = await handle.wait()
-        self._reply(
-            replies,
-            {
-                "kind": "outcome",
-                "seq": handle.spec.seq,
-                "outcome": outcome,
-                "read_stale": handle.read_stale,
-                "finish_time": handle.finish_time,
-            },
-            protocol,
-        )
 
     @staticmethod
     def _reply(

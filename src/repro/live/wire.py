@@ -36,6 +36,15 @@ peeks one byte, and a byte that cannot start a JSONL line selects the
 binary decoder for the rest of the session.  JSONL clients, recorded
 traces, and old load generators interoperate unchanged — they simply
 never send the magic.
+
+Since PR 8 the reply direction is a real **RPC layer**:
+:class:`RpcChannel` owns one session's writer *and* reader, matches
+reply records to pending calls by correlation id (``rid``, or ``seq``
+for transaction outcomes), enforces per-call deadlines, and converts
+typed error frames (``{"kind": "error", "reason": ...}``) into the
+:class:`RpcError` hierarchy.  Records that match no pending call — the
+pass-through outcome stream — are handed to an ``on_push`` callback,
+which is the entire surface the old hand-rolled reply pumps provided.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from repro.workload.codec import (
     WIRE_PREAMBLE,
     WIRE_SCHEMA_VERSION,
     FrameDecoder,
+    decode_lines,
     encode_json_frame,
 )
 
@@ -151,13 +161,6 @@ def encode_reply(record: dict, protocol: str) -> bytes:
     if protocol == PROTOCOL_BINARY:
         return encode_json_frame(payload)
     return payload + b"\n"
-
-
-def frame_reply_body(body: bytes, protocol: str) -> bytes:
-    """Re-frame one raw JSON reply body without re-encoding it."""
-    if protocol == PROTOCOL_BINARY:
-        return encode_json_frame(body)
-    return body + b"\n"
 
 
 async def connect_with_retry(
@@ -397,13 +400,15 @@ async def iter_frame_batches(
     chunk_size: int = READ_CHUNK,
     parse_json: bool = True,
     raw_updates: bool = False,
+    raw_specs: bool = False,
 ):
     """Binary dual of :func:`iter_line_batches`: decoded frames per wakeup.
 
     Yields lists of decoded records — :class:`~repro.db.objects.Update` /
     :class:`~repro.workload.transactions.TransactionSpec` instances,
-    dicts (JSON frames), raw update-frame bytes (``raw_updates=True``,
-    the router's zero-materialization path), or ``ValueError`` entries
+    dicts (JSON frames), raw update/spec-frame bytes (``raw_updates=True``
+    / ``raw_specs=True``, the router's zero-materialization paths), or
+    ``ValueError`` entries
     for malformed frame bodies — in wire order.  Framing *and* decoding happen in one pass
     here (the length prefixes delimit records, there is no separate
     "split" step), which is exactly the per-record tax the binary
@@ -413,7 +418,9 @@ async def iter_frame_batches(
     A corrupt frame *header* propagates as ``ValueError`` — the session
     cannot be resynchronized and the caller should close it.
     """
-    decoder = FrameDecoder(parse_json=parse_json, raw_updates=raw_updates)
+    decoder = FrameDecoder(
+        parse_json=parse_json, raw_updates=raw_updates, raw_specs=raw_specs
+    )
     while True:
         chunk = await reader.read(chunk_size)
         if not chunk:
@@ -426,3 +433,263 @@ async def iter_frame_batches(
         records = decoder.feed(chunk)
         if records:
             yield records
+
+
+# ----------------------------------------------------------------------
+# The RPC layer
+# ----------------------------------------------------------------------
+class RpcError(Exception):
+    """Typed failure of one RPC call.
+
+    Attributes:
+        reason: Short machine-readable tag, mirroring the wire's typed
+            error frames (``shard_down``, ``deadline``, ``closed``, ...).
+        message: Human-readable detail.
+        shard: Shard index the failure is attributed to, when known.
+    """
+
+    reason = "error"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        reason: "str | None" = None,
+        shard: "int | None" = None,
+    ) -> None:
+        if reason is not None:
+            self.reason = reason
+        self.message = message or self.reason
+        self.shard = shard
+        super().__init__(self.message)
+
+
+class RpcDeadlineError(RpcError):
+    """The per-call deadline expired before a reply arrived."""
+
+    reason = "deadline"
+
+
+class RpcClosedError(RpcError):
+    """The channel closed (peer EOF, reset, or local close) mid-call.
+
+    The fast-failure path: a killed shard worker resolves every in-flight
+    sub-read immediately instead of burning its deadline.
+    """
+
+    reason = "closed"
+
+
+class RpcChannel:
+    """Correlation-id request/reply matching over one wire session.
+
+    Owns both directions of a connection to a peer that replies with JSON
+    records (in either wire protocol): stream records and requests go out
+    through a :class:`CoalescingWriter`; one reader task matches every
+    incoming record against the pending-call table and hands the rest —
+    the pass-through reply stream — to ``on_push``.  This replaces the
+    per-session reply pumps the cluster router used to hand-roll.
+
+    Matching: a record correlates by its ``rid`` field, or by ``seq``
+    when it is a transaction outcome (``kind == "outcome"``) — submitted
+    sub-reads are re-id'd so their seq *is* the correlation id.  A
+    matched ``kind == "error"`` record raises a typed :class:`RpcError`
+    in the caller; channel close fails **all** pending calls with
+    :class:`RpcClosedError` at once.
+
+    Args:
+        reader/writer: The connected session (the channel writes the
+            binary preamble itself when ``protocol`` is binary).
+        protocol: ``jsonl`` or ``binary`` — both what the peer reads and
+            how its JSON replies come back.
+        on_push: Callback for reply records that match no pending call.
+        batch_max/flush_us: Outbound coalescing bounds.
+
+    Attributes:
+        failure: The unexpected exception that ended the reader task, if
+            any — ``None`` for a clean EOF/reset.  Session owners count
+            these, exactly as they counted pump failures.
+    """
+
+    __slots__ = ("protocol", "failure", "_writer", "_pending", "_on_push",
+                 "_reader_task", "_closed")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        protocol: str,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
+        on_push: "Callable[[dict], None] | None" = None,
+    ) -> None:
+        self.protocol = protocol
+        self.failure: Exception | None = None
+        if protocol == PROTOCOL_BINARY:
+            writer.write(WIRE_PREAMBLE)
+        self._writer = CoalescingWriter(
+            writer, batch_max=batch_max, flush_us=flush_us
+        )
+        self._pending: dict[object, asyncio.Future] = {}
+        self._on_push = on_push
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_replies(reader))
+
+    # -- outbound -------------------------------------------------------
+    @property
+    def closing(self) -> bool:
+        """Whether this channel can no longer complete calls."""
+        return (
+            self._closed
+            or self._writer.is_closing
+            or self._reader_task.done()
+        )
+
+    @property
+    def records(self) -> int:
+        """Stream records written so far (CoalescingWriter passthrough)."""
+        return self._writer.records
+
+    def post(self, payload: bytes, records: int = 1) -> None:
+        """Send pre-encoded stream records, fire-and-forget."""
+        self._writer.write_batch(payload, records)
+
+    def request(self, record: dict) -> None:
+        """Send one JSON request record in the session's protocol."""
+        self._writer.write(encode_reply(record, self.protocol))
+
+    def flush(self) -> None:
+        """Flush the outbound coalescing buffer now."""
+        self._writer.flush()
+
+    async def backpressure(self) -> None:
+        """Suspend until the outbound transport is under its high-water."""
+        await self._writer.backpressure()
+
+    # -- correlation ----------------------------------------------------
+    def expect(self, key) -> asyncio.Future:
+        """Register a pending call keyed by its correlation id.
+
+        Call *before* sending the request so an instant reply cannot
+        race the registration.  The future resolves to the reply record,
+        or raises a typed :class:`RpcError`.
+        """
+        future = asyncio.get_running_loop().create_future()
+        if key in self._pending:
+            raise ValueError(f"correlation id {key!r} already in flight")
+        self._pending[key] = future
+        if self.closing and not future.done():
+            future.set_exception(
+                RpcClosedError(f"channel closed before call {key!r}")
+            )
+            future.exception()
+        return future
+
+    async def result(self, key, *, timeout: "float | None" = None) -> dict:
+        """Await the reply for ``key``, bounded by ``timeout`` seconds.
+
+        A collected call (reply, typed error, or closed-channel failure)
+        is unregistered on return.  A timed-out call is *not*: the
+        cancelled future stays registered as a tombstone, so a late
+        reply matches it and is reaped instead of leaking to
+        ``on_push``.
+
+        Raises:
+            RpcDeadlineError: no reply within ``timeout``.
+            RpcError: the peer replied with a typed error frame.
+            RpcClosedError: the channel died with the call in flight.
+        """
+        future = self._pending.get(key)
+        if future is None:
+            raise KeyError(f"no pending call with correlation id {key!r}")
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise RpcDeadlineError(
+                f"no reply for call {key!r} within {timeout:.3f}s"
+            ) from None
+        finally:
+            if future.done() and not future.cancelled():
+                self._pending.pop(key, None)
+
+    async def call(
+        self, record: dict, key, *, timeout: "float | None" = None
+    ) -> dict:
+        """Round trip one request record: expect + send + await."""
+        self.expect(key)
+        self.request(record)
+        self._writer.flush()
+        return await self.result(key, timeout=timeout)
+
+    # -- inbound --------------------------------------------------------
+    async def _read_replies(self, reader: asyncio.StreamReader) -> None:
+        try:
+            if self.protocol == PROTOCOL_BINARY:
+                async for records in iter_frame_batches(reader):
+                    for record in records:
+                        if isinstance(record, dict):
+                            self._deliver(record)
+            else:
+                async for lines in iter_line_batches(reader):
+                    for record in decode_lines(lines):
+                        if isinstance(record, dict):
+                            self._deliver(record)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # peer went away: same outcome as EOF
+        except Exception as exc:  # corrupt frame header etc. — typed close
+            self.failure = exc
+        finally:
+            self._closed = True
+            self._fail_pending()
+
+    def _deliver(self, record: dict) -> None:
+        key = record.get("rid")
+        if key is None and record.get("kind") == "outcome":
+            key = record.get("seq")
+        future = self._pending.get(key) if key is not None else None
+        if future is None:
+            if self._on_push is not None:
+                self._on_push(record)
+            return
+        if future.done():
+            if future.cancelled():
+                # Abandoned call (the deadline won): reap the tombstone.
+                del self._pending[key]
+            # Already resolved or failed: the reply stays collectable by
+            # result(), which unregisters it; drop the duplicate record.
+            return
+        if record.get("kind") == "error":
+            reason = record.get("reason", "error")
+            future.set_exception(RpcError(
+                record.get("message", ""),
+                reason=reason,
+                shard=record.get("shard"),
+            ))
+        else:
+            future.set_result(record)
+
+    def _fail_pending(self) -> None:
+        # Failed calls stay registered: a result() arriving *after* the
+        # close must collect the typed RpcClosedError, not a KeyError.
+        for key, future in self._pending.items():
+            if not future.done():
+                future.set_exception(RpcClosedError(
+                    f"channel closed with call {key!r} in flight"
+                ))
+                # Mark retrieved: a caller cancelled alongside the close
+                # must not log "exception was never retrieved".
+                future.exception()
+
+    async def aclose(self) -> None:
+        """Cancel the reader, fail pending calls, close the writer."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending()
+        await self._writer.aclose()

@@ -254,6 +254,78 @@ def reroute_update_frame(frame: bytes, local_id: int) -> bytes:
     return bytes(patched)
 
 
+#: A spec body's routing fields sit at fixed offsets too (layout
+#: ``<qdBdddI`` + packed int64 reads): seq at body offset 0, the
+#: high_value flag at 16, compute_time + slack at 25, the read count at
+#: 41, and the reads immediately after the 45-byte head.
+_SPEC_SEQ_AT = FRAME_HEADER.size
+_SPEC_FLAG_AT = FRAME_HEADER.size + 16
+_SPEC_BUDGET = struct.Struct("<dd")
+_SPEC_BUDGET_AT = FRAME_HEADER.size + 25
+_SPEC_COUNT_AT = FRAME_HEADER.size + 41
+_SPEC_READS_AT = FRAME_HEADER.size + _SPEC_HEAD.size
+
+
+def peek_spec_route(frame: bytes) -> "tuple[ObjectClass, int, tuple[int, ...]]":
+    """(klass, seq, global reads) of a raw spec frame, without decoding.
+
+    The scatter router resolves every read's owning shard from this —
+    the spec analogue of :func:`peek_update_route`.
+
+    Raises:
+        ValueError: when the declared read count disagrees with the frame
+            length (the frame would not decode either).
+    """
+    (count,) = struct.unpack_from("<I", frame, _SPEC_COUNT_AT)
+    if len(frame) != _SPEC_READS_AT + 8 * count:
+        raise ValueError(
+            f"spec frame declares {count} reads but carries "
+            f"{len(frame) - _SPEC_READS_AT} read bytes"
+        )
+    (seq,) = struct.unpack_from("<q", frame, _SPEC_SEQ_AT)
+    klass = ObjectClass.VIEW_HIGH if frame[_SPEC_FLAG_AT] else ObjectClass.VIEW_LOW
+    reads = struct.unpack_from(f"<{count}q", frame, _SPEC_READS_AT)
+    return klass, seq, reads
+
+
+def peek_spec_budget(frame: bytes) -> "tuple[float, float]":
+    """(compute_time, slack) of a raw spec frame, without decoding.
+
+    What the scatter router needs to bound a fanned-out sub-read's
+    deadline without materializing the spec.
+    """
+    compute_time, slack = _SPEC_BUDGET.unpack_from(frame, _SPEC_BUDGET_AT)
+    return compute_time, slack
+
+
+def reroute_spec_frame(frame: bytes, seq: int, reads: "Iterable[int]") -> bytes:
+    """The same spec frame with its seq and read-set rewritten.
+
+    When the read count is unchanged (a transaction whose reads all land
+    on one shard) this is an in-place patch, like
+    :func:`reroute_update_frame`.  A changed count — a fanned-out
+    sub-read carrying one shard's slice — rebuilds the header and read
+    block while forwarding the other five head fields (arrival_time,
+    high_value, value, compute_time, slack) byte-identical.
+    """
+    reads = tuple(reads)
+    (count,) = struct.unpack_from("<I", frame, _SPEC_COUNT_AT)
+    n = len(reads)
+    if n == count:
+        patched = bytearray(frame)
+        struct.pack_into("<q", patched, _SPEC_SEQ_AT, seq)
+        struct.pack_into(f"<{n}q", patched, _SPEC_READS_AT, *reads)
+        return bytes(patched)
+    mid = frame[FRAME_HEADER.size + 8:_SPEC_COUNT_AT]
+    return b"".join((
+        FRAME_HEADER.pack(TAG_SPEC, _SPEC_HEAD.size + 8 * n),
+        struct.pack("<q", seq),
+        mid,
+        struct.pack("<I", n),
+        struct.pack(f"<{n}q", *reads),
+    ))
+
+
 def encode_update_frame(update: Update) -> bytes:
     """One update as a length-prefixed binary frame."""
     body = _UPDATE_BODY.pack(
@@ -376,6 +448,12 @@ class FrameDecoder:
             router's fast path, which routes via :func:`peek_update_route`
             and forwards the frame without ever building the object.
             Specs and JSON frames are unaffected.
+        raw_specs: The same fast path for well-formed spec frames — the
+            scatter router splits their read-sets via
+            :func:`peek_spec_route` and re-ids sub-reads with
+            :func:`reroute_spec_frame` without materializing a
+            :class:`TransactionSpec`.  Updates and JSON frames are
+            unaffected.
         max_body: Body-length cap above which a header is treated as
             corrupt and the session aborted.  Live sessions keep the
             default (:data:`MAX_FRAME_BODY`); the durability log reader
@@ -384,18 +462,22 @@ class FrameDecoder:
             of bytes that will never arrive.
     """
 
-    __slots__ = ("_buffer", "_parse_json", "_raw_updates", "_max_body")
+    __slots__ = (
+        "_buffer", "_parse_json", "_raw_updates", "_raw_specs", "_max_body"
+    )
 
     def __init__(
         self,
         *,
         parse_json: bool = True,
         raw_updates: bool = False,
+        raw_specs: bool = False,
         max_body: int = MAX_FRAME_BODY,
     ) -> None:
         self._buffer = bytearray()
         self._parse_json = parse_json
         self._raw_updates = raw_updates
+        self._raw_specs = raw_specs
         self._max_body = max_body
 
     @property
@@ -440,7 +522,24 @@ class FrameDecoder:
                     else:
                         out.append(_update_from_body(view[start:end]))
                 elif tag == TAG_SPEC:
-                    out.append(_spec_from_body(view[start:end]))
+                    if self._raw_specs:
+                        if length < _SPEC_HEAD.size:
+                            raise ValueError(
+                                f"spec frame body is {length} bytes, "
+                                f"shorter than the {_SPEC_HEAD.size}-byte head"
+                            )
+                        (count,) = struct.unpack_from(
+                            "<I", view, offset + _SPEC_COUNT_AT
+                        )
+                        if length != _SPEC_HEAD.size + 8 * count:
+                            raise ValueError(
+                                f"spec frame declares {count} reads but "
+                                f"carries {length - _SPEC_HEAD.size} "
+                                "read bytes"
+                            )
+                        out.append(bytes(view[offset:end]))
+                    else:
+                        out.append(_spec_from_body(view[start:end]))
                 elif tag == TAG_JSON:
                     payload = bytes(view[start:end])
                     out.append(

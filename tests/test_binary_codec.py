@@ -12,6 +12,7 @@ The contracts that make the binary protocol a safe peer of JSONL:
   :func:`decode_lines` isolates malformed lines.
 """
 
+import dataclasses
 import struct
 
 import pytest
@@ -34,6 +35,9 @@ from repro.workload.codec import (
     encode_frame,
     encode_frames,
     encode_json_frame,
+    peek_spec_budget,
+    peek_spec_route,
+    reroute_spec_frame,
 )
 from repro.workload.trace import item_to_dict
 from repro.workload.transactions import TransactionGenerator, TransactionSpec
@@ -273,3 +277,89 @@ def test_decode_rejects_trailing_bytes():
     )
     with pytest.raises(ValueError, match="mid-frame"):
         BinaryCodec.decode(frame + b"\x01")
+
+
+# ----------------------------------------------------------------------
+# Spec routing peeks and re-id (the cross-shard raw-frame fast path)
+# ----------------------------------------------------------------------
+def _spec(seq=7, reads=(3, 11, 200), high=False, compute=2e-4, slack=1.5):
+    return TransactionSpec(seq=seq, arrival_time=0.5, high_value=high,
+                           value=4.0, compute_time=compute,
+                           reads=tuple(reads), slack=slack)
+
+
+def test_peek_spec_route_matches_decoded_fields():
+    for spec in (_spec(), _spec(high=True, reads=(9,)), _spec(reads=())):
+        frame = encode_frame(spec)
+        klass, seq, reads = peek_spec_route(frame)
+        assert klass is spec.view_class
+        assert seq == spec.seq
+        assert reads == spec.reads
+
+
+def test_peek_spec_budget_matches_decoded_fields():
+    spec = _spec(compute=3.25e-4, slack=0.875)
+    compute, slack = peek_spec_budget(encode_frame(spec))
+    assert _bits(compute) == _bits(spec.compute_time)
+    assert _bits(slack) == _bits(spec.slack)
+
+
+def test_peek_spec_route_rejects_non_spec_frames():
+    update = Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1,
+                    value=1.0, generation_time=0.0, arrival_time=0.0)
+    with pytest.raises(ValueError):
+        peek_spec_route(encode_frame(update))
+    # A truncated spec body is refused, not mis-read.
+    frame = encode_frame(_spec())
+    with pytest.raises(ValueError):
+        peek_spec_route(frame[:-4])
+
+
+def test_reroute_spec_frame_same_count_patches_in_place():
+    spec = _spec(seq=42, reads=(3, 11, 200))
+    frame = encode_frame(spec)
+    patched = reroute_spec_frame(frame, 9000, (1, 2, 3))
+    assert len(patched) == len(frame)
+    (back,) = BinaryCodec.decode(patched)
+    assert back.seq == 9000
+    assert back.reads == (1, 2, 3)
+    # Every non-routing field is byte-identical.
+    assert item_to_dict(back) == item_to_dict(
+        dataclasses.replace(spec, seq=9000, reads=(1, 2, 3))
+    )
+
+
+def test_reroute_spec_frame_changed_count_rebuilds():
+    spec = _spec(seq=42, reads=(3, 11, 200))
+    frame = encode_frame(spec)
+    sub = reroute_spec_frame(frame, 2**62 + 1, (5,))
+    (back,) = BinaryCodec.decode(sub)
+    assert back.seq == 2**62 + 1
+    assert back.reads == (5,)
+    assert _bits(back.compute_time) == _bits(spec.compute_time)
+    assert _bits(back.slack) == _bits(spec.slack)
+    assert _bits(back.arrival_time) == _bits(spec.arrival_time)
+    assert back.high_value == spec.high_value
+    # And the sub-frame is a valid frame by itself, same as the encoder's.
+    assert sub == encode_frame(
+        dataclasses.replace(spec, seq=2**62 + 1, reads=(5,))
+    )
+
+
+def test_decoder_raw_specs_passes_frames_through():
+    spec = _spec()
+    update = Update(seq=1, klass=ObjectClass.VIEW_LOW, object_id=1,
+                    value=1.0, generation_time=0.0, arrival_time=0.0)
+    payload = encode_frames([update, spec])
+    decoder = FrameDecoder(raw_updates=True, raw_specs=True)
+    out = decoder.feed(payload)
+    assert all(isinstance(item, bytes) for item in out)
+    assert out[0][0] == TAG_UPDATE
+    assert out[1][0] == TAG_SPEC
+    assert out[1] == encode_frame(spec)
+    # Raw mode still validates the count/length invariant.
+    bad = bytearray(encode_frame(spec))
+    bad[FRAME_HEADER.size + 41] ^= 0xFF  # corrupt the read count
+    strict = FrameDecoder(raw_specs=True)
+    (err,) = strict.feed(bytes(bad))
+    assert isinstance(err, ValueError)

@@ -11,9 +11,9 @@ hook (`ShardCluster.kill_worker`) and the suite asserts that:
   merging the survivors with ``shed_shard_down`` / ``worker_restarts`` /
   ``down_shards`` accounting in ``extras``;
 * restart mode brings the shard back on a fresh port and installs resume;
-* each of the four pre-PR crash bugs (shutdown hang, snapshot EOF
-  decode crash, swallowed pump failures, missing snapshot backpressure)
-  stays fixed.
+* each of the four historical crash bugs (shutdown hang, snapshot EOF
+  decode crash, swallowed reply-channel failures, missing snapshot
+  backpressure) stays fixed.
 
 Process-spawning tests keep to 2 shards and short drains so the whole
 file stays in smoke-test territory.
@@ -29,7 +29,8 @@ from repro.config import baseline_config
 from repro.db.objects import ObjectClass, Update
 from repro.live import MetricsStreamer, ShardCluster, ShardDownError, WireClient
 from repro.live.cluster import WorkerState
-from repro.live.wire import connect_with_retry
+from repro.live.wire import RpcChannel, connect_with_retry
+from repro.workload.codec import FRAME_HEADER, MAX_FRAME_BODY
 from repro.metrics.results import SimulationResult
 from repro.workload.trace import update_to_dict
 
@@ -280,8 +281,9 @@ def test_restart_resumes_installs_and_books_balance():
 # Unit: the four crash-path bugs
 # ----------------------------------------------------------------------
 def test_shard_snapshot_eof_is_typed_not_decode_error():
-    """Regression: EOF from a worker connection raises ShardDownError,
-    not json.JSONDecodeError from `json.loads(b"")`."""
+    """Regression: a worker hanging up with the snapshot call in flight
+    raises ShardDownError, not a decode crash (pre-RPC: `json.loads(b"")`
+    from an empty readline)."""
 
     async def scenario():
         async def eof_handler(reader, writer):
@@ -290,36 +292,45 @@ def test_shard_snapshot_eof_is_typed_not_decode_error():
 
         server = await asyncio.start_server(eof_handler, "127.0.0.1", 0)
         port = server.sockets[0].getsockname()[1]
-        cluster = ShardCluster(_cluster_config(), "TF", shards=2)
+        # jsonl hop: the fake worker reads one line and hangs up.
+        cluster = ShardCluster(_cluster_config(), "TF", shards=2, wire="jsonl")
         cluster._workers = [WorkerState(0, port=port, status="up")]
         try:
             with pytest.raises(ShardDownError):
                 await cluster._shard_snapshot(0)
         finally:
+            for channel in cluster._control.values():
+                await channel.aclose()
             server.close()
             await server.wait_closed()
 
     asyncio.run(scenario())
 
 
-def test_close_session_counts_pump_failures():
-    """Regression: a pump that died with a real exception is counted in
-    protocol_errors (and logged) instead of being silently swallowed."""
-
-    class FakeUpstream:
-        async def aclose(self):
-            pass
+def test_close_session_counts_channel_failures():
+    """Regression: an upstream channel whose reader died with a real
+    exception is counted in protocol_errors (and logged) instead of
+    being silently swallowed."""
 
     async def scenario():
+        async def bad_server(reader, writer):
+            # A corrupt frame header (body length over the cap) is
+            # session-fatal for the channel's reader loop.
+            writer.write(FRAME_HEADER.pack(0x7E, MAX_FRAME_BODY + 1))
+            await writer.drain()
+
+        server = await asyncio.start_server(bad_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
         cluster = ShardCluster(_cluster_config(), "TF", shards=2)
-
-        async def boom():
-            raise ValueError("upstream exploded")
-
-        pump = asyncio.ensure_future(boom())
-        await asyncio.sleep(0)  # let it fail
+        reader, writer = await connect_with_retry(
+            "127.0.0.1", lambda: port, attempts=2
+        )
+        channel = RpcChannel(reader, writer, protocol="binary")
+        await _wait_for(lambda: channel.failure is not None)
         downstream = FakeDownstream()
-        await cluster._close_session({0: (FakeUpstream(), pump)}, downstream)
+        await cluster._close_session({0: channel}, downstream, set())
+        server.close()
+        await server.wait_closed()
         return cluster, downstream
 
     cluster, downstream = asyncio.run(scenario())
