@@ -19,15 +19,22 @@ Run with ``pytest benchmarks/bench_sharded_throughput.py --benchmark-only``.
 
 import asyncio
 import gc
+import json
 import os
 import time
 
 from repro.config import baseline_config
+from repro.db.sharding import router_from_topology
 from repro.live import run_sharded_bench
 from repro.live.cluster import ShardCluster
 from repro.live.wire import CoalescingWriter
 from repro.sim.streams import StreamFamily
-from repro.workload.codec import WIRE_PREAMBLE, encode_frame, encode_item
+from repro.workload.codec import (
+    WIRE_PREAMBLE,
+    encode_frame,
+    encode_item,
+    encode_json_frame,
+)
 from repro.workload.updates import UpdateStreamGenerator
 
 #: Offered aggregate load, far past what one core installs (~20k/s on CI
@@ -328,4 +335,228 @@ def test_binary_shm_roundtrip_throughput(benchmark):
         assert best >= BINARY_ROUNDTRIP_BAR, (
             f"binary round-trip peaked at {best:,.0f} installs/s, below the "
             f"{BINARY_ROUNDTRIP_BAR:,.0f} bar (2x the PR 4 batched path)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Router fleet vs. smart clients (direct routing)
+# ----------------------------------------------------------------------
+#: What the single-router binary round trip recorded when it landed
+#: (BENCH_perf.json, 2026-08-08T09:12): the router ceiling this PR
+#: breaks.  Direct mode at 2 shards must clear 1.5x it.
+SINGLE_ROUTER_ROUNDTRIP_BASELINE = 64_594.7
+DIRECT_2_SHARD_BAR = 1.5 * SINGLE_ROUTER_ROUNDTRIP_BASELINE
+
+#: The single-node binary ingest rate (BENCH_perf.json, 2026-08-08T09:11).
+#: Direct mode at 4 shards — no router in the data path at all — must
+#: beat the single node outright.
+SINGLE_NODE_BASELINE = 98_436.3
+
+#: Per-worker offered rate while that worker has the whole machine
+#: (sequential deployment-model mode): just above single-node capacity,
+#: so each slice saturates without deep overload.
+DIRECT_OFFERED_RATE = 110_000.0
+
+
+def _hello_frame(epoch):
+    record = {"kind": "hello", "mode": "direct", "epoch": epoch}
+    return encode_json_frame(json.dumps(record).encode("utf-8"))
+
+
+def _direct_frames_by_shard(config, record, count=20_000):
+    """Pre-encoded *global-id* update frames, split by owning shard with
+    the same map a smart client rebuilds from the topology record."""
+    router = router_from_topology(record)
+    streams = StreamFamily(config.seed)
+    generator = UpdateStreamGenerator(config, None, streams, lambda _: None)
+    t = 0.0
+    by_shard = {shard: [] for shard in range(router.shards)}
+    for _ in range(count):
+        t += generator.next_interarrival()
+        update = generator.draw_update(t)
+        shard = router.shard_of(update.klass, update.object_id)
+        by_shard[shard].append(encode_frame(update))
+    return by_shard
+
+
+async def _paced_sender(writer, frames, rate):
+    out = CoalescingWriter(writer, batch_max=256, flush_us=500.0)
+    loop = asyncio.get_running_loop()
+    interval = 256 / rate
+    next_at = loop.time()
+    index = 0
+    total = len(frames)
+    while True:
+        for _ in range(256):
+            out.write(frames[index])
+            index = (index + 1) % total
+        out.flush()
+        await out.backpressure()
+        next_at += interval
+        delay = next_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            next_at = loop.time()  # fell behind: run flat out
+            await asyncio.sleep(0)
+
+
+async def _measure_window(cluster):
+    before = time.perf_counter()
+    first = await cluster.snapshot()
+    start = (before + time.perf_counter()) / 2
+    await asyncio.sleep(MEASURE_SECONDS)
+    before = time.perf_counter()
+    second = await cluster.snapshot()
+    end = (before + time.perf_counter()) / 2
+    installed = second.updates_applied - first.updates_applied
+    return installed / (end - start), second
+
+
+async def _drive_direct(shards):
+    """Smart-client throughput at N shards, sequential deployment mode.
+
+    Each worker slice is driven straight over its own binary connection
+    — hello handshake, then paced global-id frames the worker localizes
+    — back-to-back with the whole machine (the one-core-per-shard model
+    of docs/SCALING.md), and the per-slice rates sum.  No router plane
+    ever touches a data record.
+    """
+    cluster = ShardCluster(
+        _roundtrip_config(), "TF", shards=shards,
+        batch_max=256, flush_us=500.0, wire="binary",
+    )
+    await cluster.start()
+    record = cluster.topology_record()
+    by_shard = _direct_frames_by_shard(_roundtrip_config(), record)
+    total_rate = 0.0
+    direct_records = 0
+    try:
+        for entry in record["workers"]:
+            shard = entry["shard"]
+            _, writer = await asyncio.open_connection(
+                entry["host"], entry["port"]
+            )
+            writer.write(WIRE_PREAMBLE + _hello_frame(record["epoch"]))
+            sender = asyncio.ensure_future(
+                _paced_sender(writer, by_shard[shard], DIRECT_OFFERED_RATE)
+            )
+            try:
+                await asyncio.sleep(RAMP_SECONDS)
+                rate, second = await _measure_window(cluster)
+                total_rate += rate
+                direct_records = sum(
+                    (second.extras.get("direct") or {}).values()
+                ) if "direct" in (second.extras or {}) else direct_records
+            finally:
+                sender.cancel()
+                try:
+                    await sender
+                except (asyncio.CancelledError, ConnectionResetError,
+                        BrokenPipeError):
+                    pass
+                writer.close()
+        final = await cluster.snapshot()
+        assert final.extras.get("direct_records", 0) > 0, (
+            "direct drive never took the direct ingest path"
+        )
+    finally:
+        await cluster.shutdown(drain_timeout=10.0)
+    return total_rate
+
+
+async def _drive_routed(routers, frames):
+    """The binary round-trip harness through a plane fleet, reporting the
+    fleet's CPU utilization (cpu seconds / wall seconds per plane row —
+    psutil when available, os.times otherwise)."""
+    cluster = ShardCluster(
+        _roundtrip_config(), "TF", shards=2,
+        batch_max=256, flush_us=500.0, wire="binary", routers=routers,
+    )
+    host, port = await cluster.start()
+    _, writer = await asyncio.open_connection(host, port)
+    writer.write(WIRE_PREAMBLE)
+    sender = asyncio.ensure_future(
+        _paced_sender(writer, frames, BINARY_OFFERED_RATE)
+    )
+    try:
+        await asyncio.sleep(RAMP_SECONDS)
+        rate, second = await _measure_window(cluster)
+        planes = second.extras.get("planes", [])
+        cpu = sum(row.get("cpu_seconds") or 0.0 for row in planes)
+        wall = sum(row.get("wall_seconds") or 0.0 for row in planes)
+        utilization = cpu / wall if wall > 0 else 0.0
+    finally:
+        sender.cancel()
+        try:
+            await sender
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        writer.close()
+        await cluster.shutdown(drain_timeout=10.0)
+    return rate, utilization, len(planes)
+
+
+def test_direct_vs_routed_throughput(benchmark):
+    """Tentpole bars: direct 2-shard >= 1.5x the single-router round
+    trip; direct 4-shard beats the single node outright; the routed
+    (--routers 2) rate and the fleet's CPU utilization are recorded
+    alongside for the routed-vs-direct comparison."""
+    frames = _drawn_update_frames(_roundtrip_config())
+    results = {"routed2": 0.0, "direct2": 0.0, "direct4": 0.0}
+    cpu = {"routed2": 0.0}
+    plane_rows = {"routed2": 0}
+    rounds = 1 if QUICK else 2
+
+    def run():
+        for _ in range(rounds):
+            gc.collect()
+            rate, utilization, planes = asyncio.run(_drive_routed(2, frames))
+            if rate > results["routed2"]:
+                results["routed2"] = rate
+                cpu["routed2"] = utilization
+                plane_rows["routed2"] = planes
+            gc.collect()
+            results["direct2"] = max(
+                results["direct2"], asyncio.run(_drive_direct(2))
+            )
+            gc.collect()
+            results["direct4"] = max(
+                results["direct4"], asyncio.run(_drive_direct(4))
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = (results["direct2"] / results["routed2"]
+               if results["routed2"] else 0.0)
+    benchmark.extra_info["installs_per_second_routed_2_routers"] = (
+        results["routed2"]
+    )
+    benchmark.extra_info["router_cpu_utilization_routed_2_routers"] = (
+        cpu["routed2"]
+    )
+    benchmark.extra_info["router_planes_reporting"] = plane_rows["routed2"]
+    benchmark.extra_info["installs_per_second_direct_2_shards"] = (
+        results["direct2"]
+    )
+    benchmark.extra_info["installs_per_second_direct_4_shards"] = (
+        results["direct4"]
+    )
+    benchmark.extra_info["mode_direct"] = "sequential"
+    benchmark.extra_info["direct_vs_routed_speedup"] = speedup
+    benchmark.extra_info["best_of_rounds"] = rounds
+    print(f"\nrouted (2 planes): {results['routed2']:,.0f}/s "
+          f"(fleet cpu {cpu['routed2']:.2f}), "
+          f"direct 2 shards: {results['direct2']:,.0f}/s, "
+          f"direct 4 shards: {results['direct4']:,.0f}/s "
+          f"({speedup:.2f}x routed)")
+    if not QUICK:
+        assert results["direct2"] >= DIRECT_2_SHARD_BAR, (
+            f"direct 2-shard sustained {results['direct2']:,.0f} installs/s, "
+            f"below the {DIRECT_2_SHARD_BAR:,.0f} bar (1.5x the "
+            "single-router round trip)"
+        )
+        assert results["direct4"] > SINGLE_NODE_BASELINE, (
+            f"direct 4-shard sustained {results['direct4']:,.0f} installs/s, "
+            f"not above the {SINGLE_NODE_BASELINE:,.0f} single-node rate"
         )

@@ -88,6 +88,40 @@ def compare(history: list[dict], threshold: float, quick: bool) -> int:
     return regressions
 
 
+def routed_vs_direct(history: list[dict], quick: bool) -> None:
+    """Print the routed-vs-direct delta from the latest fleet benchmark.
+
+    The direct-routing benchmark records both paths in one session —
+    the plane-fleet round trip and the smart-client rates — so the delta
+    is a same-machine, same-window comparison, not a cross-session diff.
+    """
+    fullname = ("benchmarks/bench_sharded_throughput.py::"
+                "test_direct_vs_routed_throughput")
+    for record in reversed(history):
+        if bool(record.get("quick")) != quick:
+            continue
+        entry = (record.get("benchmarks") or {}).get(fullname)
+        if entry is None:
+            continue
+        info = entry.get("extra_info") or {}
+        routed = info.get("installs_per_second_routed_2_routers")
+        direct2 = info.get("installs_per_second_direct_2_shards")
+        direct4 = info.get("installs_per_second_direct_4_shards")
+        if not routed or not direct2:
+            return
+        print(f"routed vs direct ({record.get('timestamp', '?')}):")
+        print(f"  routed through 2 planes:  {routed:>12,.1f} installs/s "
+              f"(fleet cpu "
+              f"{info.get('router_cpu_utilization_routed_2_routers', 0):.2f})")
+        print(f"  direct, 2 shards:         {direct2:>12,.1f} installs/s "
+              f"({(direct2 - routed) / routed:+.1%} vs routed)")
+        if direct4:
+            print(f"  direct, 4 shards:         {direct4:>12,.1f} installs/s "
+                  f"({(direct4 - routed) / routed:+.1%} vs routed)")
+        return
+    print("routed vs direct: no recorded fleet benchmark at this scale")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
@@ -111,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"comparing the last two {scale}-scale runs per benchmark "
           f"(threshold {args.threshold:.0%}):")
     regressions = compare(history, args.threshold, args.quick)
+    routed_vs_direct(history, args.quick)
     if regressions:
         print(f"{regressions} throughput regression(s) found")
         return 1

@@ -217,3 +217,50 @@ class ShardRouter:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         owned = [self.counts(shard) for shard in range(self.shards)]
         return f"<ShardRouter shards={self.shards} owned={owned}>"
+
+
+# ----------------------------------------------------------------------
+# Topology control records
+# ----------------------------------------------------------------------
+def topology_record(
+    *,
+    shards: int,
+    n_low: int,
+    n_high: int,
+    epoch: int,
+    workers: "list[dict]",
+) -> dict:
+    """The ``{"kind": "topology"}`` control record served to smart clients.
+
+    Carries everything a client needs to rebuild the exact routing
+    function locally (the router is deterministic from ``n_low`` /
+    ``n_high`` / ``shards``) plus the per-worker endpoints and the
+    topology ``epoch``, which advances whenever a worker endpoint
+    changes.  Each ``workers`` entry is
+    ``{"shard": i, "host": h, "port": p, "status": s}``.
+    """
+    return {
+        "kind": "topology",
+        "router_version": ROUTER_VERSION,
+        "shards": shards,
+        "n_low": n_low,
+        "n_high": n_high,
+        "epoch": epoch,
+        "workers": list(workers),
+    }
+
+
+def router_from_topology(record: dict) -> ShardRouter:
+    """Rebuild the cluster's exact :class:`ShardRouter` from a topology
+    record, refusing records produced by an incompatible hash version."""
+    if record.get("kind") != "topology":
+        raise ValueError(f"not a topology record: {record.get('kind')!r}")
+    version = record.get("router_version")
+    if version != ROUTER_VERSION:
+        raise ValueError(
+            f"topology router_version {version} != {ROUTER_VERSION}; "
+            "client and cluster disagree on the routing function"
+        )
+    return ShardRouter(
+        int(record["n_low"]), int(record["n_high"]), int(record["shards"])
+    )

@@ -52,7 +52,12 @@ from repro.live.durability import (
     read_log,
     restore_state,
 )
-from repro.live.loadgen import CrossShardSpreader, LoadGenerator, WireClient
+from repro.live.loadgen import (
+    CrossShardSpreader,
+    DirectClient,
+    LoadGenerator,
+    WireClient,
+)
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.server import IngestServer
@@ -71,6 +76,7 @@ from repro.live.wire import (
 
 __all__ = [
     "CrossShardSpreader",
+    "DirectClient",
     "DurabilityManager",
     "IngestServer",
     "LiveRuntime",

@@ -30,7 +30,12 @@ from repro.core.algorithms.registry import ALGORITHMS
 from repro.live.clock import WallClock
 from repro.live.cluster import ShardCluster, run_sharded_bench
 from repro.live.durability import FSYNC_POLICIES, DurabilityManager
-from repro.live.loadgen import CrossShardSpreader, LoadGenerator, WireClient
+from repro.live.loadgen import (
+    CrossShardSpreader,
+    DirectClient,
+    LoadGenerator,
+    WireClient,
+)
 from repro.live.observe import MetricsStreamer
 from repro.live.runtime import LiveRuntime
 from repro.live.server import IngestServer
@@ -162,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="carry the update stream to shard workers over "
                        "shared-memory rings instead of loopback TCP "
                        "(sharded mode; implies --wire binary for the hop)")
+    serve.add_argument("--routers", type=int, default=1,
+                       help="router plane processes sharing the public port "
+                       "via SO_REUSEPORT (sharded mode; default 1 — the "
+                       "router runs in the supervisor process; needs >= 2 "
+                       "to spread ingest parsing over cores; incompatible "
+                       "with --shm)")
 
     loadgen = sub.add_parser("loadgen",
                              help="stream traffic at a running server")
@@ -192,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--shards", type=int, default=1,
                          help="shard count of the target deployment, for "
                          "--cross-shard-frac's routing (default 1)")
+    loadgen.add_argument("--direct", action="store_true",
+                         help="smart-client mode: fetch the cluster's "
+                         "topology record, rebuild the shard map locally "
+                         "and stream records straight to the owning "
+                         "workers; cross-shard transactions still travel "
+                         "via the router (needs a sharded server)")
 
     bench = sub.add_parser("bench",
                            help="in-process throughput/latency benchmark")
@@ -304,10 +321,12 @@ async def _serve_sharded(args) -> int:
         log_dir=args.log_dir,
         fsync=args.fsync,
         snapshot_interval=args.snapshot_interval,
+        routers=args.routers,
     )
     host, port = await cluster.start()
+    planes = (f", {args.routers} router planes" if args.routers > 1 else "")
     print(f"repro-live: {args.algorithm} serving on {host}:{port} across "
-          f"{args.shards} shard workers (ports {cluster.ports}; "
+          f"{args.shards} shard workers (ports {cluster.ports}{planes}; "
           f"SIGINT drains and exits)", file=sys.stderr, flush=True)
 
     if args.fail_shard is not None:
@@ -369,12 +388,17 @@ async def _loadgen(args) -> int:
         elif record.get("kind") == "error" and record.get("reason") == "shard_down":
             counts["shed_shard_down"] = counts.get("shed_shard_down", 0) + 1
 
-    client = WireClient(
+    client_cls = DirectClient if args.direct else WireClient
+    client = client_cls(
         args.host, args.port, batch_max=args.batch_max,
         flush_us=args.flush_us, attempts=args.connect_attempts,
         on_line=on_line, wire=args.wire,
     )
     await client.connect()
+    if args.direct:
+        print(f"repro-live loadgen: direct mode — routing over "
+              f"{client.router.shards} workers (topology epoch "
+              f"{client.epoch})", file=sys.stderr, flush=True)
     config = _build_config(args)
     streams = StreamFamily(config.seed)
     spreader = None
@@ -438,8 +462,15 @@ async def _loadgen(args) -> int:
     elapsed = time.monotonic() - start
     reconnects = (f"; reconnects: {client.reconnects}"
                   if client.reconnects else "")
+    direct = ""
+    if args.direct:
+        direct = (f"; direct: {client.direct_sends} direct, "
+                  f"{client.routed_specs} routed, "
+                  f"{client.moved_redirects} moved, "
+                  f"{client.topology_refreshes} refreshes")
     print(f"repro-live loadgen: sent {sent} records in {elapsed:.2f}s "
-          f"({sent / elapsed:.0f}/s); outcomes: {counts or '{}'}{reconnects}")
+          f"({sent / elapsed:.0f}/s); outcomes: {counts or '{}'}"
+          f"{reconnects}{direct}")
     return 0
 
 

@@ -82,17 +82,24 @@ import logging
 import multiprocessing
 import os
 import signal
+import socket
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.config import SimulationConfig
-from repro.core.sharding import merge_verdicts, route_batch, shard_config
-from repro.db.sharding import ShardRouter
+from repro.core.sharding import shard_config
+from repro.db.sharding import ROUTER_VERSION, ShardRouter, topology_record
 from repro.live.clock import WallClock
 from repro.live.durability import DurabilityManager
 from repro.live.loadgen import LoadGenerator
-from repro.live.runtime import LatencyTracker, LiveRuntime
+from repro.live.plane import (
+    RouterPlane,
+    ShardDownError,
+    _encode_hop_frames,
+    _router_plane_main,
+)
+from repro.live.runtime import LiveRuntime
 from repro.db.objects import Update
-from repro.live.server import IngestServer
+from repro.live.server import ClusterView, IngestServer
 from repro.live.shm import DEFAULT_RING_BYTES, SpscRing
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
@@ -100,47 +107,16 @@ from repro.live.wire import (
     PROTOCOL_BINARY,
     PROTOCOL_JSONL,
     WIRE_PROTOCOLS,
-    CoalescingWriter,
     RpcChannel,
     RpcClosedError,
-    RpcDeadlineError,
     RpcError,
-    WireProtocolError,
     connect_with_retry,
-    encode_reply,
-    iter_frame_batches,
-    iter_line_batches,
-    negotiate_protocol,
 )
 from repro.metrics.results import SimulationResult
 from repro.metrics.storage import result_from_dict
-from repro.workload.codec import (
-    TAG_SPEC,
-    BinaryCodec,
-    decode_lines,
-    encode_frame,
-    encode_lines,
-    item_from_record,
-    peek_spec_budget,
-    peek_spec_route,
-    reroute_spec_frame,
-)
-from repro.workload.transactions import TransactionSpec
+from repro.workload.codec import BinaryCodec
 
 logger = logging.getLogger(__name__)
-
-
-def _encode_hop_frames(routed: list) -> bytes:
-    """One binary-hop payload from a routed batch.
-
-    Raw update frames (the binary-client fast path) are forwarded as-is;
-    anything materialized (JSONL-client updates, transaction specs) is
-    framed here.
-    """
-    return b"".join(
-        item if isinstance(item, bytes) else encode_frame(item)
-        for item in routed
-    )
 
 #: How long the parent waits for a worker to report its port or result.
 _WORKER_TIMEOUT = 60.0
@@ -151,22 +127,80 @@ _POLL_INTERVAL = 0.02
 #: Per-stage wait inside the join -> terminate -> kill escalation.
 _REAP_GRACE = 2.0
 
-#: Correlation-id floor for cross-shard sub-reads.  Sub-reads share the
-#: worker's outcome-correlation keyspace with pass-through client seqs,
-#: so their rids start far above any plausible client sequence number —
-#: still comfortably inside the wire format's int64.
-_RID_BASE = 1 << 62
+
+# ----------------------------------------------------------------------
+# Extras merging (planes x shards)
+# ----------------------------------------------------------------------
+#: Scalar counters summed across sources.
+_EXTRAS_SUM = frozenset({
+    "records_received", "protocol_errors", "cross_shard_submits",
+    "remapped_reads", "routing_errors", "topology_requests",
+    "direct_records", "moved_replies", "stale_epoch_redirects",
+    "hello_records",
+})
+#: Per-shard counter lists summed elementwise across sources.
+_EXTRAS_SUM_LIST = frozenset({
+    "updates_routed", "transactions_routed", "fanout_sub_reads",
+    "sub_read_misses", "sub_read_aborts", "sub_read_deadline_misses",
+    "shed_shard_down",
+})
+#: Gauges merged by max (None = no samples on that source).
+_EXTRAS_MAX = frozenset({"sub_read_latency_p99"})
+#: Topology facts every source must agree on.
+_EXTRAS_EQUAL = frozenset({"shards", "router_version"})
 
 
-class ShardDownError(ConnectionError):
-    """A shard worker is dead or unreachable.
+def merge_extras_sources(*sources: dict) -> dict:
+    """Merge ``extras`` counter dicts from multiple sources into one.
 
-    Raised by :meth:`ShardCluster._shard_snapshot` when a worker
-    connection yields EOF, and by :meth:`ShardCluster.snapshot` /
-    :meth:`ShardCluster.shutdown` when *no* shard survives.  A single
-    down shard never raises: its records are shed and accounted while
-    the survivors keep serving.
+    The cluster's counters now arrive from several places at once —
+    every routing plane reports its own routing/shed/fan-out stats, and
+    every shard worker reports its own direct-ingest stats — and most of
+    them share key names.  Pre-plane code built ``extras`` from exactly
+    one source per key, so a duplicate silently meant last-write-wins;
+    here every key carries an explicit merge rule (sum, elementwise sum,
+    max, or must-be-equal), and a duplicate key *without* a rule raises
+    instead of clobbering.
+
+    Raises:
+        AssertionError: a duplicate key has no merge rule, two sources
+            disagree on a must-be-equal fact, or two per-shard lists
+            have different lengths.
     """
+    merged: dict = {}
+    for source in sources:
+        for key, value in source.items():
+            if key not in merged:
+                merged[key] = list(value) if key in _EXTRAS_SUM_LIST else value
+                continue
+            if key in _EXTRAS_SUM:
+                merged[key] += value
+            elif key in _EXTRAS_SUM_LIST:
+                current = merged[key]
+                if len(current) != len(value):
+                    raise AssertionError(
+                        f"extras key {key!r}: per-shard lists of different "
+                        f"lengths ({len(current)} vs {len(value)})"
+                    )
+                merged[key] = [a + b for a, b in zip(current, value)]
+            elif key in _EXTRAS_MAX:
+                if value is not None:
+                    current = merged[key]
+                    merged[key] = (
+                        value if current is None else max(current, value)
+                    )
+            elif key in _EXTRAS_EQUAL:
+                if merged[key] != value:
+                    raise AssertionError(
+                        f"extras key {key!r} disagrees across sources: "
+                        f"{merged[key]!r} != {value!r}"
+                    )
+            else:
+                raise AssertionError(
+                    f"duplicate extras key {key!r} with no merge rule; "
+                    "add it to an _EXTRAS_* registry in repro.live.cluster"
+                )
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +280,7 @@ async def _serve_worker_async(
     ring_name=None, log_dir=None, fsync="never", snapshot_interval=5.0,
 ):
     router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
+    view = ClusterView(router, index)
     local_config = shard_config(config, router, index)
     manager = None
     if log_dir is not None:
@@ -271,7 +306,8 @@ async def _serve_worker_async(
         manager.attach(runtime)
         manager.start(runtime)
     server = IngestServer(
-        runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us
+        runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us,
+        cluster_view=view,
     )
     _, port = await server.start()
     ring = None
@@ -286,9 +322,17 @@ async def _serve_worker_async(
         }))
     else:
         conn.send(("ready", port))
-    while not conn.poll():
-        await asyncio.sleep(0.05)
-    message = conn.recv()  # ("stop", drain_timeout)
+    # Control loop: topology broadcasts keep the view fresh (for smart
+    # clients' topology/moved records) until the stop message arrives.
+    message = None
+    while message is None:
+        while not conn.poll():
+            await asyncio.sleep(0.05)
+        received = conn.recv()
+        if received[0] == "topology":  # ("topology", epoch, workers)
+            view.apply(received[1], received[2])
+        else:
+            message = received  # ("stop", drain_timeout)
     drain_timeout = message[1] if len(message) > 1 else 5.0
     await server.stop()
     if ring_task is not None:
@@ -308,7 +352,16 @@ async def _serve_worker_async(
     if manager is not None:
         await manager.stop(runtime)
     result = await runtime.shutdown(drain_timeout=0.0)
-    conn.send(("result", asdict(result)))
+    payload = asdict(result)
+    direct = server.direct_accounting()
+    if direct is not None:
+        # Smart clients bypassed the router on this shard: ship the
+        # worker-side direct/redirect counters so the merge can fold
+        # them in next to the planes' routing counters.
+        extras = dict(payload.get("extras") or {})
+        extras["direct"] = direct
+        payload["extras"] = extras
+    conn.send(("result", payload))
 
 
 async def _consume_ring_once(ring: SpscRing, runtime: LiveRuntime) -> None:
@@ -377,12 +430,6 @@ async def _bench_worker_async(
     generator.stop()
     result = await runtime.shutdown()
     conn.send(("result", asdict(result)))
-
-
-async def _jsonl_record_batches(reader, leftover: bytes):
-    """JSONL sessions as decoded-record batches (the frame-batch dual)."""
-    async for lines in iter_line_batches(reader, initial=leftover):
-        yield decode_lines(lines)
 
 
 async def _pipe_recv(conn, process, timeout=_WORKER_TIMEOUT):
@@ -482,6 +529,55 @@ class WorkerState:
         }
 
 
+@dataclass
+class PlaneState:
+    """Parent-side liveness record of one routing-plane process.
+
+    Attributes:
+        index: Plane index (stable across restarts).
+        process / conn: The current child process and its control pipe.
+        status: ``starting`` | ``up`` | ``restarting`` | ``down``.
+        restarts: Completed supervisor restarts of this plane.
+        stats: Last stats dict the plane reported (kept across death so
+            a crashed plane's routed-record accounting still merges).
+    """
+
+    index: int
+    process: "multiprocessing.process.BaseProcess | None" = None
+    conn: object | None = None
+    status: str = "starting"
+    restarts: int = 0
+    stats: "dict | None" = None
+
+
+class _ClusterTopology:
+    """The in-parent plane's view of the live ``WorkerState`` table.
+
+    Reads the cluster's own state at use time (no copies), so the plane
+    observes supervisor transitions — restarts, mark-downs, fresh ports
+    — the instant they land, exactly as the pre-extraction router did.
+    """
+
+    def __init__(self, cluster: "ShardCluster") -> None:
+        self._cluster = cluster
+
+    @property
+    def epoch(self) -> int:
+        return self._cluster.epoch
+
+    def port_of(self, shard: int) -> int:
+        return self._cluster._workers[shard].port
+
+    def host_of(self, shard: int) -> str:
+        return "127.0.0.1"
+
+    def status_of(self, shard: int) -> str:
+        return self._cluster._workers[shard].status
+
+    def record(self) -> dict:
+        return self._cluster.topology_record()
+
+
 # ----------------------------------------------------------------------
 # The cluster (parent side)
 # ----------------------------------------------------------------------
@@ -514,6 +610,16 @@ class ShardCluster:
             router gives up on a shard's sub-read and scores it a
             deadline miss — covers the scatter/gather wire hops, which
             the spec's deadline does not know about.
+        routers: Routing-plane count.  ``1`` (default) serves the public
+            socket from one :class:`~repro.live.plane.RouterPlane` in
+            the parent process — the founding topology.  ``N >= 2``
+            spawns N plane *processes* all bound to the same public
+            ``(host, port)`` via ``SO_REUSEPORT``; the kernel balances
+            client connections across them, each holds its own upstream
+            channels to every worker, and the supervisor restarts a
+            crashed plane like a worker.  Requires a platform with
+            ``SO_REUSEPORT`` (Linux/BSD/macOS) and is incompatible with
+            ``shm`` (a ring is single-producer).
         wire: Protocol of the internal router→worker hop: ``"binary"``
             (default — struct frames, no JSON on the hot path) or
             ``"jsonl"``.  Independent of what clients speak on the
@@ -549,6 +655,7 @@ class ShardCluster:
         connect_attempts: int = 6,
         shutdown_grace: float = 10.0,
         rpc_grace: float = 0.25,
+        routers: int = 1,
         wire: str = PROTOCOL_BINARY,
         shm: bool = False,
         ring_bytes: int = DEFAULT_RING_BYTES,
@@ -569,6 +676,18 @@ class ShardCluster:
             )
         if shm and wire != PROTOCOL_BINARY:
             raise ValueError("shm rings require the binary wire protocol")
+        if routers < 1:
+            raise ValueError(f"need at least one router plane, got {routers}")
+        if routers > 1 and shm:
+            raise ValueError(
+                "shm rings are single-producer; they cannot be shared by "
+                "multiple router planes (use routers=1 or shm=False)"
+            )
+        if routers > 1 and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError(
+                "routers > 1 needs SO_REUSEPORT, which this platform "
+                "does not provide"
+            )
         config.validate()
         self.config = config
         self.algorithm = algorithm
@@ -584,6 +703,7 @@ class ShardCluster:
         self.connect_attempts = connect_attempts
         self.shutdown_grace = shutdown_grace
         self.rpc_grace = rpc_grace
+        self.routers = routers
         self.wire = wire
         self.shm = shm
         self.ring_bytes = ring_bytes
@@ -593,25 +713,42 @@ class ShardCluster:
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
-        self.records_received = 0
-        self.errors = 0
-        # Cross-shard scatter-gather accounting (merged into extras).
-        self.cross_shard_submits = 0
-        self.fanout_sub_reads = [0] * shards
-        self.sub_read_misses = [0] * shards
-        self.sub_read_aborts = [0] * shards
-        self.sub_read_deadline_misses = [0] * shards
-        self.sub_read_latency = LatencyTracker()
-        # One cluster-wide correlation-id counter: a sub-read's rid is
-        # unique across sessions, so per-worker outcome keys never collide.
+        #: Topology epoch: bumped (and broadcast to workers and remote
+        #: planes) whenever a worker endpoint or status changes, so smart
+        #: clients can detect a stale shard map (see ``docs/SCALING.md``).
+        self.epoch = 0
         self._rid = itertools.count(1)
         self._control: "dict[int, RpcChannel]" = {}
         self._workers: list[WorkerState] = []
+        self._planes: list[PlaneState] = []
+        self._plane_services: set[asyncio.Task] = set()
+        self._plane_waiters: "dict[tuple[int, int], asyncio.Future]" = {}
+        self._plane_tokens = itertools.count(1)
         self._context = None
         self._server: asyncio.AbstractServer | None = None
+        self._probe: "socket.socket | None" = None
         self._supervisor: asyncio.Task | None = None
         self._restart_tasks: set[asyncio.Task] = set()
         self._result: SimulationResult | None = None
+        # The in-parent data plane (routers == 1): shares this cluster's
+        # router and worker table, so accounting and fault semantics are
+        # exactly the pre-extraction ones.
+        self._plane: "RouterPlane | None" = None
+        if routers == 1:
+            self._plane = RouterPlane(
+                config,
+                shards=shards,
+                topology=_ClusterTopology(self),
+                wire=wire,
+                batch_max=batch_max,
+                flush_us=flush_us,
+                rpc_grace=rpc_grace,
+                connect_attempts=connect_attempts,
+                index=0,
+                router=self.router,
+                snapshot_cb=self._snapshot_payload,
+                ring_push=self._ring_push if shm else None,
+            )
 
     @property
     def ports(self) -> list[int]:
@@ -619,10 +756,48 @@ class ShardCluster:
         return [worker.port for worker in self._workers]
 
     # ------------------------------------------------------------------
+    # Aggregated data-plane counters (across all planes)
+    # ------------------------------------------------------------------
+    def _plane_sources(self) -> list[dict]:
+        """Per-plane stats dicts: live for the in-parent plane, last
+        reported for plane processes (refreshed by
+        :meth:`_gather_plane_stats`)."""
+        sources = []
+        if self._plane is not None:
+            sources.append(self._plane.stats())
+        sources.extend(
+            plane.stats for plane in self._planes if plane.stats is not None
+        )
+        return sources
+
+    @property
+    def records_received(self) -> int:
+        """Records routed across every plane (remote: last reported)."""
+        return sum(s.get("records_received", 0) for s in self._plane_sources())
+
+    @property
+    def errors(self) -> int:
+        """Protocol errors across every plane (remote: last reported)."""
+        return sum(s.get("protocol_errors", 0) for s in self._plane_sources())
+
+    @property
+    def cross_shard_submits(self) -> int:
+        return sum(
+            s.get("cross_shard_submits", 0) for s in self._plane_sources()
+        )
+
+    def _shed_totals(self) -> list[int]:
+        totals = [0] * self.shards
+        for source in self._plane_sources():
+            for shard, count in enumerate(source.get("shed_shard_down", ())):
+                totals[shard] += count
+        return totals
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
-        """Spawn the workers, wait for their ports, bind the router."""
+        """Spawn the workers, wait for their ports, bind the router plane(s)."""
         if self._workers:
             raise RuntimeError("cluster is already running")
         self._context = multiprocessing.get_context("spawn")
@@ -634,11 +809,142 @@ class ShardCluster:
             if message[0] != "ready":  # pragma: no cover - defensive
                 raise RuntimeError(f"unexpected worker message: {message[0]}")
             self._note_ready(worker, message)
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
-        sockname = self._server.sockets[0].getsockname()
-        self.host, self.port = sockname[0], sockname[1]
+        if self.routers == 1:
+            self._server = await asyncio.start_server(
+                self._plane.handle, self.host, self.port
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+        else:
+            # Fix the concrete public port with a bound-but-never-listening
+            # probe socket (SO_REUSEPORT: only *listening* sockets receive
+            # connections, so the probe never steals one), then hand the
+            # same (host, port) to every plane process.
+            self._bind_probe()
+            self._planes = [PlaneState(index) for index in range(self.routers)]
+            for plane in self._planes:
+                self._spawn_plane(plane)
+            for plane in self._planes:
+                message = await _pipe_recv(plane.conn, plane.process)
+                if message[0] != "ready":  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"unexpected plane message: {message[0]}"
+                    )
+                plane.status = "up"
+            for plane in self._planes:
+                self._plane_services.add(
+                    asyncio.ensure_future(self._plane_service(plane))
+                )
+        # Epoch 1: the initial all-ready topology, broadcast to workers
+        # (for smart clients' topology/moved replies) and planes.
+        self._bump_epoch()
         self._supervisor = asyncio.ensure_future(self._supervise())
         return self.host, self.port
+
+    def _bind_probe(self) -> None:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((self.host, self.port))
+        self.host, self.port = probe.getsockname()[:2]
+        self._probe = probe
+
+    def _spawn_plane(self, plane: PlaneState) -> None:
+        """(Re)create one routing-plane process and its control pipe."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_router_plane_main,
+            args=(
+                child_conn,
+                self.config,
+                self.host,
+                self.port,
+                self.shards,
+                self.wire,
+                self.batch_max,
+                self.flush_us,
+                self.rpc_grace,
+                self.connect_attempts,
+                plane.index,
+                self.epoch,
+                self._topology_entries(),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        plane.process = process
+        plane.conn = parent_conn
+
+    async def _plane_service(self, plane: PlaneState) -> None:
+        """Pump one plane process's control pipe.
+
+        Outbound plane requests (a client asked that plane for a fleet
+        snapshot) are answered with the parent's own :meth:`snapshot`;
+        inbound replies (stats / ingest_closed / result) resolve the
+        token-keyed futures :meth:`_plane_call` is awaiting.  The task
+        exits on the plane's final ``result`` message or on pipe EOF
+        (plane death — the supervisor handles the restart).
+        """
+        conn = plane.conn
+        try:
+            while True:
+                while not conn.poll():
+                    await asyncio.sleep(_POLL_INTERVAL)
+                message = conn.recv()
+                kind = message[0]
+                if kind == "snapshot_req":
+                    asyncio.ensure_future(
+                        self._answer_plane_snapshot(plane, message[1])
+                    )
+                    continue
+                payload = message[2] if len(message) > 2 else None
+                if kind in ("stats", "result") and payload is not None:
+                    plane.stats = payload
+                future = self._plane_waiters.pop(
+                    (plane.index, message[1]), None
+                )
+                if future is not None and not future.done():
+                    future.set_result(payload)
+                if kind == "result":
+                    return
+        except (EOFError, OSError):
+            return
+
+    async def _answer_plane_snapshot(
+        self, plane: PlaneState, token: int
+    ) -> None:
+        """Serve one plane's snapshot request (only the parent can fan in)."""
+        try:
+            payload, ok = asdict(await self.snapshot()), True
+        except ShardDownError as exc:
+            payload, ok = str(exc), False
+        try:
+            plane.conn.send(("snapshot_res", token, ok, payload))
+        except (BrokenPipeError, OSError):  # plane died while we gathered
+            pass
+
+    async def _plane_call(self, plane: PlaneState, kind: str, timeout: float):
+        """One tokened request/reply round trip to a plane process.
+
+        Returns the reply payload, or ``None`` when the plane is down,
+        the pipe broke, or the reply did not arrive inside ``timeout`` —
+        plane trouble degrades accounting freshness, never the caller.
+        """
+        if plane.conn is None or plane.status == "down":
+            return None
+        token = next(self._plane_tokens)
+        future = asyncio.get_running_loop().create_future()
+        self._plane_waiters[(plane.index, token)] = future
+        try:
+            plane.conn.send((kind, token))
+        except (BrokenPipeError, OSError):
+            self._plane_waiters.pop((plane.index, token), None)
+            return None
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            self._plane_waiters.pop((plane.index, token), None)
+            return None
 
     def _spawn(self, worker: WorkerState) -> None:
         """(Re)create one shard worker process and its control pipe."""
@@ -684,22 +990,34 @@ class ShardCluster:
         worker.status = "up"
 
     async def stop_ingest(self) -> None:
-        """Close the public socket; workers keep draining what they have."""
+        """Close the public socket(s); workers keep draining what they have."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._planes:
+            await asyncio.gather(*(
+                self._plane_call(plane, "stop_ingest", 5.0)
+                for plane in self._planes
+            ))
+        if self._probe is not None:
+            self._probe.close()
+            self._probe = None
 
     # ------------------------------------------------------------------
     # Supervision
     # ------------------------------------------------------------------
     async def _supervise(self) -> None:
-        """Watch every worker's process sentinel; restart or mark down."""
+        """Watch every process sentinel (workers *and* routing planes);
+        restart or mark down."""
         while True:
             await asyncio.sleep(self.supervise_interval)
             for worker in self._workers:
                 if worker.status == "up" and not worker.process.is_alive():
                     self._on_worker_death(worker)
+            for plane in self._planes:
+                if plane.status == "up" and not plane.process.is_alive():
+                    self._on_plane_death(plane)
 
     def _on_worker_death(self, worker: WorkerState) -> None:
         exitcode = worker.process.exitcode
@@ -719,6 +1037,64 @@ class ShardCluster:
                 "shard %d worker died (exitcode %s); restart budget exhausted "
                 "— marking down, routed records will be shed",
                 worker.index, exitcode,
+            )
+        # Either way the shard map changed: direct clients must learn the
+        # endpoint is gone before they burn retries against it.
+        self._bump_epoch()
+
+    def _on_plane_death(self, plane: PlaneState) -> None:
+        """A routing plane died: restart it like a worker, or mark it
+        down — the surviving planes keep serving the shared port."""
+        exitcode = plane.process.exitcode
+        if plane.restarts < self.restart_limit:
+            plane.status = "restarting"
+            logger.warning(
+                "router plane %d died (exitcode %s); restarting (%d/%d)",
+                plane.index, exitcode, plane.restarts + 1, self.restart_limit,
+            )
+            task = asyncio.ensure_future(self._restart_plane(plane))
+            self._restart_tasks.add(task)
+            task.add_done_callback(self._restart_tasks.discard)
+        else:
+            plane.status = "down"
+            logger.warning(
+                "router plane %d died (exitcode %s); restart budget "
+                "exhausted — marking down",
+                plane.index, exitcode,
+            )
+
+    async def _restart_plane(self, plane: PlaneState) -> None:
+        """Replace a dead plane process bound to the same public port."""
+        try:
+            for key in [k for k in self._plane_waiters if k[0] == plane.index]:
+                future = self._plane_waiters.pop(key)
+                if not future.done():
+                    future.set_result(None)
+            await _reap(plane.process)
+            if plane.conn is not None:
+                plane.conn.close()
+                plane.conn = None
+            self._spawn_plane(plane)
+            message = await _pipe_recv(plane.conn, plane.process)
+            if message[0] != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected plane message: {message[0]}")
+            plane.status = "up"
+            plane.restarts += 1
+            self._plane_services.add(
+                asyncio.ensure_future(self._plane_service(plane))
+            )
+            logger.info(
+                "router plane %d restarted (restart %d)",
+                plane.index, plane.restarts,
+            )
+        except asyncio.CancelledError:
+            plane.status = "down"
+            raise
+        except (RuntimeError, TimeoutError, EOFError, OSError) as exc:
+            plane.status = "down"
+            logger.error(
+                "router plane %d restart failed (%r); marking down",
+                plane.index, exc,
             )
 
     async def _retire_worker_resources(
@@ -772,6 +1148,7 @@ class ShardCluster:
                 raise RuntimeError(f"unexpected worker message: {message[0]}")
             self._note_ready(worker, message)
             worker.restarts += 1
+            self._bump_epoch()  # fresh port: redirect direct clients
             logger.info(
                 "shard %d worker restarted on port %d (restart %d, "
                 "replayed %d records)",
@@ -783,6 +1160,7 @@ class ShardCluster:
             raise
         except (RuntimeError, TimeoutError, EOFError, OSError) as exc:
             worker.status = "down"
+            self._bump_epoch()
             logger.error(
                 "shard %d restart failed (%r); marking down", worker.index, exc
             )
@@ -797,13 +1175,83 @@ class ShardCluster:
         if worker.process is not None and worker.process.is_alive():
             os.kill(worker.process.pid, signal.SIGKILL)
 
+    def kill_plane(self, index: int) -> None:
+        """Fault injection: SIGKILL one routing-plane process."""
+        plane = self._planes[index]
+        if plane.process is not None and plane.process.is_alive():
+            os.kill(plane.process.pid, signal.SIGKILL)
+
     def worker_status(self, index: int) -> str:
         """Current supervision status of one shard worker."""
         return self._workers[index].status
 
+    def plane_status(self, index: int) -> str:
+        """Current supervision status of one routing plane."""
+        return self._planes[index].status
+
     def liveness(self) -> list[dict]:
-        """Per-worker liveness rows (as reported in ``extras``)."""
-        return [worker.liveness() for worker in self._workers]
+        """Per-worker liveness rows (as reported in ``extras``).
+
+        ``shed_shard_down`` is summed across every plane's counters —
+        shedding happens where routing happens, which is no longer only
+        the parent process.
+        """
+        totals = self._shed_totals()
+        rows = []
+        for worker in self._workers:
+            row = worker.liveness()
+            row["shed_shard_down"] = totals[worker.index]
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Topology epochs (smart clients)
+    # ------------------------------------------------------------------
+    def _topology_entries(self) -> list[dict]:
+        return [
+            {
+                "shard": worker.index,
+                "host": "127.0.0.1",
+                "port": worker.port,
+                "status": worker.status,
+            }
+            for worker in self._workers
+        ]
+
+    def topology_record(self) -> dict:
+        """The cluster's current ``{"kind": "topology"}`` control record."""
+        return topology_record(
+            shards=self.shards,
+            n_low=self.config.updates.n_low,
+            n_high=self.config.updates.n_high,
+            epoch=self.epoch,
+            workers=self._topology_entries(),
+        )
+
+    def _bump_epoch(self) -> None:
+        """Advance the topology epoch and broadcast the worker table.
+
+        Every worker needs it to answer direct clients' topology requests
+        and stamp ``moved`` redirects; every remote plane needs it to
+        route.  A broken pipe here means the target is already dead — the
+        supervisor handles that separately.
+        """
+        self.epoch += 1
+        message = ("topology", self.epoch, self._topology_entries())
+        for worker in self._workers:
+            if worker.conn is None:
+                continue
+            try:
+                worker.conn.send(message)
+            except (BrokenPipeError, OSError):
+                pass
+        for plane in self._planes:
+            if plane.conn is None:
+                continue
+            try:
+                plane.conn.send(message)
+            except (BrokenPipeError, OSError):
+                pass
 
     # ------------------------------------------------------------------
     # Drain and merge
@@ -834,6 +1282,23 @@ class ShardCluster:
         if self._restart_tasks:
             await asyncio.gather(*self._restart_tasks, return_exceptions=True)
         await self.stop_ingest()
+        # Collect every plane's final stats (cached on PlaneState so a
+        # crashed plane's last report still merges), then retire them.
+        for plane in self._planes:
+            stats = await self._plane_call(plane, "stop", 10.0)
+            if stats is not None:
+                plane.stats = stats
+            await _reap(plane.process)
+            if plane.conn is not None:
+                plane.conn.close()
+                plane.conn = None
+        for task in list(self._plane_services):
+            task.cancel()
+        if self._plane_services:
+            await asyncio.gather(
+                *self._plane_services, return_exceptions=True
+            )
+            self._plane_services.clear()
         for channel in self._control.values():
             await channel.aclose()
         self._control.clear()
@@ -878,49 +1343,100 @@ class ShardCluster:
             # e.g. a worker restarted moments before shutdown replays its
             # "ready" registration first; skip to the result.
 
+    def _zero_stats(self) -> dict:
+        """The guaranteed-present merge source: every counter key at zero.
+
+        Explicit zero literals, *not* ``self.router.accounting()`` — the
+        in-parent plane shares that router, so reading it here would
+        count its routing twice.  With this source first, the merged
+        extras carry every expected key even when no plane reported.
+        """
+        zeros = [0] * self.shards
+        return {
+            "shards": self.shards,
+            "router_version": ROUTER_VERSION,
+            "updates_routed": list(zeros),
+            "transactions_routed": list(zeros),
+            "remapped_reads": 0,
+            "routing_errors": 0,
+            "records_received": 0,
+            "protocol_errors": 0,
+            "cross_shard_submits": 0,
+            "fanout_sub_reads": list(zeros),
+            "sub_read_misses": list(zeros),
+            "sub_read_aborts": list(zeros),
+            "sub_read_deadline_misses": list(zeros),
+            "sub_read_latency_p99": None,
+            "shed_shard_down": list(zeros),
+            "topology_requests": 0,
+        }
+
+    def _plane_rows(self) -> list[dict]:
+        """One ``extras["planes"]`` row per plane (CPU seconds included)."""
+        rows = []
+        if self._plane is not None:
+            row = dict(self._plane.stats().get("plane") or {})
+            row["status"] = "up"
+            row["restarts"] = 0
+            rows.append(row)
+        for plane in self._planes:
+            row = dict((plane.stats or {}).get("plane") or {})
+            row.setdefault("plane", plane.index)
+            row["status"] = plane.status
+            row["restarts"] = plane.restarts
+            rows.append(row)
+        return rows
+
     def _merge(
         self,
         per_shard: list[SimulationResult],
         indices: "list[int] | None" = None,
     ) -> SimulationResult:
-        """Merge per-shard results (``indices`` names the shards present)."""
+        """Merge per-shard results (``indices`` names the shards present).
+
+        The counter half of ``extras`` is merged key-by-key from every
+        source that reports one — all routing planes plus each worker's
+        direct-ingest accounting — through :func:`merge_extras_sources`,
+        so a counter arriving from several places sums (or maxes, or must
+        agree) instead of last-write-wins.
+        """
         if indices is None:
             indices = list(range(self.shards))
         weights = [self.router.counts(index) for index in indices]
         workers = self.liveness()
+        sources = [self._zero_stats()]
+        for stats in self._plane_sources():
+            stats = dict(stats)
+            stats.pop("plane", None)
+            sources.append(stats)
+        for result in per_shard:
+            direct = (result.extras or {}).get("direct")
+            if direct:
+                sources.append(direct)
+        extras = merge_extras_sources(*sources)
+        extras.update({
+            "workers": workers,
+            "worker_restarts": [w["restarts"] for w in workers],
+            "down_shards": [
+                w["shard"] for w in workers if w["status"] == "down"
+            ],
+            "merged_shards": list(indices),
+            "wire": self.wire,
+            "shm": self.shm,
+            "routers": self.routers,
+            "epoch": self.epoch,
+            "planes": self._plane_rows(),
+            "ring_records": [w["ring_records"] for w in workers],
+            "ring_fallbacks": [w["ring_fallbacks"] for w in workers],
+            "durability": self.log_dir is not None,
+            "replayed_records": [w["replayed_records"] for w in workers],
+            "replay_lag_s": [w["replay_lag_s"] for w in workers],
+        })
         return SimulationResult.merge(
             per_shard,
             weights_low=[low for low, _ in weights],
             weights_high=[high for _, high in weights],
-            extras={
-                **self.router.accounting(),
-                "records_received": self.records_received,
-                "protocol_errors": self.errors,
-                "workers": workers,
-                "worker_restarts": [w["restarts"] for w in workers],
-                "shed_shard_down": [w["shed_shard_down"] for w in workers],
-                "down_shards": [
-                    w["shard"] for w in workers if w["status"] == "down"
-                ],
-                "merged_shards": list(indices),
-                "wire": self.wire,
-                "shm": self.shm,
-                "cross_shard_submits": self.cross_shard_submits,
-                "fanout_sub_reads": list(self.fanout_sub_reads),
-                "sub_read_misses": list(self.sub_read_misses),
-                "sub_read_aborts": list(self.sub_read_aborts),
-                "sub_read_deadline_misses": list(
-                    self.sub_read_deadline_misses
-                ),
-                "sub_read_latency_p99": self.sub_read_latency.percentile(
-                    0.99
-                ),
-                "ring_records": [w["ring_records"] for w in workers],
-                "ring_fallbacks": [w["ring_fallbacks"] for w in workers],
-                "durability": self.log_dir is not None,
-                "replayed_records": [w["replayed_records"] for w in workers],
-                "replay_lag_s": [w["replay_lag_s"] for w in workers],
-            },
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
@@ -937,6 +1453,7 @@ class ShardCluster:
         Raises:
             ShardDownError: when no live shard answered.
         """
+        await self._refresh_plane_stats()
         live = [worker for worker in self._workers if worker.status == "up"]
         results = await asyncio.gather(
             *(self._try_shard_snapshot(worker) for worker in live)
@@ -950,6 +1467,17 @@ class ShardCluster:
         if not per_shard:
             raise ShardDownError("no live shard worker answered a snapshot")
         return self._merge(per_shard, indices)
+
+    async def _refresh_plane_stats(self) -> None:
+        """Freshen every remote plane's cached stats (bounded, best
+        effort — a slow plane serves stale counters, not a stuck merge)."""
+        if not self._planes:
+            return
+        await asyncio.gather(*(
+            self._plane_call(plane, "stats", 5.0)
+            for plane in self._planes
+            if plane.status == "up"
+        ))
 
     async def _try_shard_snapshot(
         self, worker: WorkerState
@@ -1023,76 +1551,14 @@ class ShardCluster:
         return result_from_dict(record)
 
     # ------------------------------------------------------------------
-    # Public router socket
+    # Data plane (delegated to the in-parent RouterPlane)
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
-        """One client session: route record batches, relay replies back.
-
-        The session's protocol is negotiated from its first bytes, same
-        as a plain :class:`~repro.live.server.IngestServer` session; it
-        is independent of the internal hop's protocol (``self.wire``) —
-        each upstream :class:`RpcChannel` re-frames pushed replies into
-        the client's protocol.
-
-        A shard worker dying mid-session never tears the session down:
-        its records are shed with typed error replies (see
-        :meth:`_shed`) while the other shards keep answering.
-        """
-        upstreams: "dict[int, RpcChannel]" = {}
-        merges: "set[asyncio.Task]" = set()
-        downstream = CoalescingWriter(
-            writer, batch_max=self.batch_max, flush_us=self.flush_us
-        )
-        protocol = PROTOCOL_JSONL
-        try:
-            protocol, leftover = await negotiate_protocol(reader)
-            if protocol == PROTOCOL_BINARY:
-                # With a binary hop, update and spec frames stay raw end
-                # to end: routed by field peek, forwarded byte-identical
-                # (ids patched), never materialized in the router.
-                raw = self.wire == PROTOCOL_BINARY
-                batches = iter_frame_batches(
-                    reader, raw_updates=raw, raw_specs=raw
-                )
-            else:
-                batches = _jsonl_record_batches(reader, leftover)
-            async for records in batches:
-                await self._dispatch_batch(
-                    records, downstream, upstreams, protocol, merges
-                )
-                await downstream.backpressure()
-        except WireProtocolError as exc:
-            self.errors += 1
-            logger.warning("wire negotiation failed: %s", exc)
-        except ValueError as exc:
-            # Corrupt binary frame header: no resynchronization point.
-            self.errors += 1
-            logger.warning("binary session corrupt: %s", exc)
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            await self._close_session(upstreams, downstream, merges)
+        """One client session on the parent's public socket (routers=1)."""
+        await self._plane.handle(reader, writer)
 
     async def _close_session(self, upstreams, downstream, merges=()) -> None:
-        """Tear down one session's merge tasks, channels, and writers.
-
-        In-flight cross-shard gathers die with their client (nobody is
-        left to read the merged outcome); an upstream channel whose
-        reader failed with a real exception is logged and counted in
-        ``protocol_errors`` instead of being silently swallowed.
-        """
-        for task in list(merges):
-            task.cancel()
-        if merges:
-            await asyncio.gather(*merges, return_exceptions=True)
-        for channel in upstreams.values():
-            await channel.aclose()
-            if channel.failure is not None:
-                self.errors += 1
-                logger.warning(
-                    "upstream reply channel failed: %r", channel.failure
-                )
-        await downstream.aclose()
+        await self._plane._close_session(upstreams, downstream, merges)
 
     async def _dispatch_batch(
         self,
@@ -1102,311 +1568,29 @@ class ShardCluster:
         protocol=PROTOCOL_JSONL,
         merges=None,
     ) -> None:
-        """Route one decoded wire batch, forward per (shard, batch).
-
-        ``records`` mixes dicts (JSONL lines, JSON frames),
-        already-built :class:`Update` instances or raw update/spec
-        frames (binary sessions), :class:`TransactionSpec` instances,
-        and ``Exception`` entries.  Updates batch per shard through
-        :meth:`_forward`; every transaction goes through
-        :meth:`_submit_spec` (single-owner pass-through or cross-shard
-        scatter-gather), flushing the updates collected so far first so
-        the transaction observes every earlier record on each shard's
-        connection.  A snapshot request likewise flushes, then answers
-        with the merged fleet snapshot.  A malformed record gets its
-        error reply and its neighbors proceed — same per-record error
-        semantics as the unbatched path.
-        """
-        if merges is None:
-            merges = set()
-        items: list = []
-        for record in records:
-            try:
-                if isinstance(record, Exception):
-                    raise record
-                if isinstance(record, bytes) and record[0] != TAG_SPEC:
-                    items.append(record)  # raw update frame
-                    continue
-                if isinstance(record, Update):
-                    items.append(record)
-                    continue
-                if isinstance(record, (TransactionSpec, bytes)):
-                    if items:
-                        await self._forward(
-                            items, downstream, upstreams, protocol
-                        )
-                        items = []
-                    await self._submit_spec(
-                        record, downstream, upstreams, protocol, merges
-                    )
-                    continue
-                if isinstance(record, dict) and record.get("kind") == "snapshot":
-                    await self._forward(items, downstream, upstreams, protocol)
-                    items = []
-                    try:
-                        merged = {"kind": "snapshot"}
-                        merged.update(asdict(await self.snapshot()))
-                        downstream.write(encode_reply(merged, protocol))
-                    except ShardDownError as exc:
-                        self.errors += 1
-                        downstream.write(
-                            encode_reply(
-                                {
-                                    "kind": "error",
-                                    "reason": "shard_down",
-                                    "message": str(exc),
-                                },
-                                protocol,
-                            )
-                        )
-                    # Snapshot replies are full fleet results — orders of
-                    # magnitude bigger than outcome lines — so they need
-                    # the same backpressure point as every other write
-                    # path, or a snapshot-spamming client grows the write
-                    # buffer without bound.
-                    await downstream.backpressure()
-                    continue
-                item = item_from_record(record)
-                if isinstance(item, TransactionSpec):
-                    if items:
-                        await self._forward(
-                            items, downstream, upstreams, protocol
-                        )
-                        items = []
-                    await self._submit_spec(
-                        item, downstream, upstreams, protocol, merges
-                    )
-                else:
-                    items.append(item)
-            except (ValueError, KeyError, TypeError) as exc:
-                self.errors += 1
-                self.router.note_routing_error()
-                self._error_reply(downstream, exc, protocol)
-        await self._forward(items, downstream, upstreams, protocol)
-
-    async def _submit_spec(
-        self, item, downstream, upstreams, protocol, merges
-    ) -> None:
-        """Route one transaction: pass-through or cross-shard scatter.
-
-        ``item`` is a :class:`TransactionSpec` or a raw binary
-        ``TAG_SPEC`` frame (binary client over a binary hop — split by
-        field peek, re-id'd by in-place patch, never materialized).
-
-        A read-set owned by one shard forwards as-is under the client's
-        own seq; the worker's outcome pushes straight back.  A read-set
-        spanning shards is split per owner, each sub-read submitted
-        under a fresh correlation id (:data:`_RID_BASE` + counter), and
-        a merge task gathers the per-shard verdicts under one shared
-        firm-deadline window (see :meth:`_gather_verdict`).  The scatter
-        refuses to start against a down owner: the whole transaction is
-        shed with one typed ``shard_down`` reply instead of burning the
-        live shards' work on a verdict that cannot commit.
-        """
-        router = self.router
-        self.records_received += 1
-        try:
-            if isinstance(item, bytes):
-                klass, seq, reads = peek_spec_route(item)
-                compute_time, slack = peek_spec_budget(item)
-                split = (
-                    router.split_reads(klass, reads)
-                    if reads
-                    else {router.hash_shard(seq): ()}
-                )
-
-                def make_sub(sub_id, local):
-                    return reroute_spec_frame(item, sub_id, local)
-
-            else:
-                seq = item.seq
-                reads = item.reads
-                compute_time, slack = item.compute_time, item.slack
-                split = (
-                    router.split_reads(item.view_class, reads)
-                    if reads
-                    else {router.hash_shard(seq): ()}
-                )
-
-                def make_sub(sub_id, local):
-                    return replace(item, seq=sub_id, reads=tuple(local))
-
-        except (ValueError, IndexError) as exc:
-            self.errors += 1
-            router.note_routing_error()
-            self._error_reply(downstream, exc, protocol)
-            return
-        if self.wire == PROTOCOL_BINARY:
-            def encode_one(sub):
-                return sub if isinstance(sub, bytes) else encode_frame(sub)
-        else:
-            def encode_one(sub):
-                return encode_lines([sub])
-        if len(split) == 1:
-            shard, local = next(iter(split.items()))
-            worker = self._workers[shard]
-            router.note_transaction_routed(shard)
-            if worker.status != "up":
-                self._shed(worker, 1, downstream, protocol)
-                return
-            try:
-                channel = await self._upstream(
-                    shard, downstream, upstreams, protocol
-                )
-                channel.post(encode_one(make_sub(seq, local)))
-                await channel.backpressure()
-            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
-                self._shed(worker, 1, downstream, protocol)
-            return
-        down = [s for s in split if self._workers[s].status != "up"]
-        if down:
-            self._shed(self._workers[down[0]], 1, downstream, protocol)
-            return
-        channels = {}
-        try:
-            for shard in split:
-                channels[shard] = await self._upstream(
-                    shard, downstream, upstreams, protocol
-                )
-        except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
-            self._shed(self._workers[shard], 1, downstream, protocol)
-            return
-        self.cross_shard_submits += 1
-        subs = []
-        for shard, local in split.items():
-            channel = channels[shard]
-            rid = _RID_BASE + next(self._rid)
-            channel.expect(rid)
-            channel.post(encode_one(make_sub(rid, local)))
-            channel.flush()
-            router.note_transaction_routed(shard)
-            self.fanout_sub_reads[shard] += 1
-            subs.append((shard, rid, channel))
-        # One shared window over the whole fan-out: the parent's own
-        # firm deadline (estimate + slack against the *global* read
-        # count) plus the configured wire grace.
-        system = self.config.system
-        timeout = (
-            compute_time
-            + len(reads) * (system.x_lookup / system.ips)
-            + slack
-            + self.rpc_grace
+        await self._plane._dispatch_batch(
+            records, downstream, upstreams, protocol, merges
         )
-        task = asyncio.ensure_future(
-            self._gather_verdict(seq, subs, timeout, downstream, protocol)
-        )
-        merges.add(task)
-        task.add_done_callback(merges.discard)
 
-    async def _gather_verdict(
-        self, seq, subs, timeout, downstream, protocol
-    ) -> None:
-        """Await every sub-read, merge the verdicts, reply to the client.
+    async def _snapshot_payload(self) -> dict:
+        """The in-parent plane's snapshot callback (late-bound through
+        :meth:`snapshot` so tests can monkeypatch the fan-in)."""
+        return asdict(await self.snapshot())
 
-        The firm deadline is enforced across the *slowest* shard: all
-        sub-reads share one deadline window, and a shard that cannot
-        answer inside it — or whose channel died mid-call — scores a
-        typed failure that merges as a parent miss
-        (:func:`~repro.core.sharding.merge_verdicts`).  Per-shard miss /
-        abort / deadline counters and observed sub-read round-trip
-        latencies feed ``extras``.
-        """
-        loop = asyncio.get_running_loop()
-        started = loop.time()
-        deadline = started + timeout
-        outcomes = []
-        for shard, rid, channel in subs:
-            remaining = max(0.0, deadline - loop.time())
-            try:
-                record = await channel.result(rid, timeout=remaining)
-            except RpcDeadlineError:
-                self.sub_read_deadline_misses[shard] += 1
-                outcomes.append({
-                    "outcome": "missed",
-                    "read_stale": False,
-                    "finish_time": None,
-                    "failure": "sub_read_deadline",
-                })
-                continue
-            except RpcError as exc:
-                self.sub_read_deadline_misses[shard] += 1
-                outcomes.append({
-                    "outcome": "missed",
-                    "read_stale": False,
-                    "finish_time": None,
-                    "failure": exc.reason,
-                })
-                continue
-            self.sub_read_latency.record(loop.time() - started)
-            outcome = record.get("outcome")
-            if outcome == "missed":
-                self.sub_read_misses[shard] += 1
-            elif outcome == "aborted-stale":
-                self.sub_read_aborts[shard] += 1
-            outcomes.append(record)
-        verdict = merge_verdicts(outcomes)
-        reply = {
-            "kind": "outcome",
-            "seq": seq,
-            "outcome": verdict["outcome"],
-            "read_stale": verdict["read_stale"],
-            "finish_time": verdict["finish_time"],
-            "fanout": len(subs),
-        }
-        downstream.write(encode_reply(reply, protocol))
-        await downstream.backpressure()
+    def _ring_push(self, shard: int, routed: list) -> list:
+        """Offer a routed batch's updates to the shard's shm ring.
 
-    async def _forward(
-        self, items, downstream, upstreams, protocol=PROTOCOL_JSONL
-    ) -> None:
-        """Group a decoded update batch by shard; one write per shard.
-
-        Transactions never reach this path any more (they go through
-        :meth:`_submit_spec`); what remains is the fire-and-forget
-        update stream.  With shm rings enabled, each shard's updates
-        ride its ring as one binary blob (falling back to TCP when the
-        ring is full or disabled).  Records owned by a shard that is not
-        up — or whose worker dies between the liveness check and the
-        write — are shed, not queued: the client gets one ``shard_down``
-        error reply per record and the session keeps flowing.
-        """
-        if not items:
-            return
-        def on_error(_item, exc):
-            self.errors += 1
-            self._error_reply(downstream, exc, protocol)
-        by_shard = route_batch(self.router, items, on_error=on_error)
-        encode_batch = (
-            _encode_hop_frames if self.wire == PROTOCOL_BINARY else encode_lines
-        )
-        for shard, routed in by_shard.items():
-            self.records_received += len(routed)
-            worker = self._workers[shard]
-            if worker.status != "up":
-                self._shed(worker, len(routed), downstream, protocol)
-                continue
-            if worker.ring_enabled:
-                routed = self._push_ring(worker, routed)
-                if not routed:
-                    continue
-            try:
-                channel = await self._upstream(
-                    shard, downstream, upstreams, protocol
-                )
-                channel.post(encode_batch(routed), len(routed))
-                await channel.backpressure()
-            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
-                self._shed(worker, len(routed), downstream, protocol)
-
-    def _push_ring(self, worker: WorkerState, routed: list) -> list:
-        """Offer a routed batch's updates to the shard's ring.
-
+        The in-parent plane's ``ring_push`` hook (a ring is
+        single-producer, so only the routers=1 topology can have one).
         Returns the records that still need the TCP path: transactions
         always, and the updates too when the ring had no room (the
         fallback; counted per shard).  Updates arrive either as raw
         frames (binary client, fast path) or :class:`Update` instances
         (JSONL client); both ride the ring as one frame blob.
         """
+        worker = self._workers[shard]
+        if not worker.ring_enabled:
+            return routed
         updates = [
             item for item in routed if isinstance(item, (Update, bytes))
         ]
@@ -1420,79 +1604,6 @@ class ShardCluster:
             return rest
         worker.ring_fallbacks += 1
         return routed
-
-    def _shed(
-        self, worker: WorkerState, count: int, downstream, protocol
-    ) -> None:
-        """Account and reply for records dropped on a down shard.
-
-        The cluster analogue of the paper's OSmax drop: the records are
-        lost by design, the loss is *counted* (per shard, in
-        ``extras["shed_shard_down"]``), and the sender is told with a
-        typed outcome instead of a killed session.
-        """
-        worker.shed_shard_down += count
-        reply = encode_reply(
-            {"kind": "error", "reason": "shard_down", "shard": worker.index},
-            protocol,
-        )
-        for _ in range(count):
-            downstream.write(reply)
-
-    @staticmethod
-    def _error_reply(
-        downstream: CoalescingWriter, exc: Exception, protocol
-    ) -> None:
-        downstream.write(
-            encode_reply({"kind": "error", "message": str(exc)}, protocol)
-        )
-
-    async def _upstream(
-        self, shard: int, downstream, upstreams, protocol
-    ) -> RpcChannel:
-        """This client's RPC channel to one shard, opened on first use.
-
-        The channel speaks ``self.wire`` (a binary hop opens with the
-        preamble); worker replies that match a pending cross-shard
-        sub-read resolve its future, and everything else — pass-through
-        outcomes, worker error frames — pushes straight back to the
-        client, re-encoded into the session's protocol.  A cached
-        channel that is closing belongs to a dead (or restarted) worker
-        incarnation; it is discarded (its failure, if any, counted) and
-        reopened against the worker's *current* port —
-        :func:`~repro.live.wire.connect_with_retry` re-resolves the port
-        every attempt, so a restart mid-reconnect still lands.
-        """
-        channel = upstreams.get(shard)
-        if channel is not None:
-            if not channel.closing:
-                return channel
-            del upstreams[shard]
-            await channel.aclose()
-            if channel.failure is not None:
-                self.errors += 1
-                logger.warning(
-                    "upstream reply channel failed: %r", channel.failure
-                )
-        up_reader, up_writer = await connect_with_retry(
-            "127.0.0.1",
-            lambda: self._workers[shard].port,
-            attempts=self.connect_attempts,
-        )
-
-        def push_reply(record, _down=downstream, _proto=protocol):
-            _down.write(encode_reply(record, _proto))
-
-        channel = RpcChannel(
-            up_reader,
-            up_writer,
-            protocol=self.wire,
-            batch_max=self.batch_max,
-            flush_us=self.flush_us,
-            on_push=push_reply,
-        )
-        upstreams[shard] = channel
-        return channel
 
 
 # ----------------------------------------------------------------------

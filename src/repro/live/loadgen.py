@@ -28,13 +28,15 @@ restarted by the cluster supervisor — drops the connection mid-stream.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
 import logging
 from dataclasses import replace as dc_replace
 from typing import Callable, Iterable
 
 from repro.config import UpdatePattern
 from repro.db.objects import ObjectClass, Update
-from repro.db.sharding import ShardRouter
+from repro.db.sharding import ShardRouter, router_from_topology
 from repro.live.runtime import LiveRuntime, TransactionHandle
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
@@ -45,6 +47,7 @@ from repro.live.wire import (
     WIRE_PROTOCOLS,
     CoalescingWriter,
     connect_with_retry,
+    encode_reply,
 )
 from repro.sim.events import Event
 from repro.sim.streams import StreamFamily
@@ -532,3 +535,304 @@ class WireClient:
         if self._out is not None and not self._out.is_closing:
             self._out.flush()
         await self._teardown()
+
+
+# ----------------------------------------------------------------------
+# Smart client: topology-aware direct routing
+# ----------------------------------------------------------------------
+class DirectClient:
+    """A smart client that routes records straight to shard workers.
+
+    Instead of relaying every byte through a router plane, the client
+    asks the cluster for its ``{"kind": "topology"}`` control record,
+    rebuilds the exact :class:`~repro.db.sharding.ShardRouter` locally
+    (it is deterministic from ``n_low`` / ``n_high`` / ``shards``), and
+    opens one :class:`WireClient` per worker.  Updates and single-shard
+    transactions then travel one hop; only records that genuinely need
+    the routing plane — cross-shard read-sets, readless transactions it
+    cannot claim, control records — still go through the router
+    connection (counted in ``routed_specs``).
+
+    Every worker connection announces itself with a
+    ``{"kind": "hello", "mode": "direct"}`` record (re-sent after each
+    transparent reconnect) so the server translates global object ids and
+    answers misroutes with typed ``{"kind": "moved"}`` records.  A
+    ``moved`` reply or a connection failure refreshes the local map: the
+    embedded (or re-fetched) topology record carries the new per-worker
+    ports and the ``epoch``, and stale records (older epoch than what the
+    client already holds) are ignored.
+
+    Args:
+        host / port: The *router* address (any plane of the fleet).
+        batch_max / flush_us / attempts / wire: As for :class:`WireClient`;
+            shared by the router and worker connections.
+        on_line: Callback for reply records that are not control traffic
+            (``topology`` / ``moved`` / ``hello`` records are consumed by
+            the client itself).
+
+    Attributes:
+        router: The locally rebuilt :class:`ShardRouter` (after
+            :meth:`connect`).
+        epoch: Topology epoch of the map currently in use.
+        direct_sends: Records sent straight to a worker.
+        routed_specs: Records that still went through the router plane.
+        moved_redirects: ``moved`` replies received from workers.
+        topology_refreshes: Times the worker map was rebuilt from a newer
+            topology record.
+        send_failures: Direct sends that hit a dead worker connection and
+            forced a topology refresh.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
+        attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+        on_line: "Callable[[bytes], None] | None" = None,
+        wire: str = PROTOCOL_JSONL,
+    ) -> None:
+        if wire not in WIRE_PROTOCOLS:
+            raise ValueError(
+                f"unknown wire protocol {wire!r}; expected one of "
+                f"{WIRE_PROTOCOLS}"
+            )
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.flush_us = flush_us
+        self.attempts = attempts
+        self.on_line = on_line
+        self.wire = wire
+        self.router: ShardRouter | None = None
+        self.epoch = -1
+        self.direct_sends = 0
+        self.routed_specs = 0
+        self.moved_redirects = 0
+        self.topology_refreshes = 0
+        self.send_failures = 0
+        self._router_client: WireClient | None = None
+        self._links: "list[WireClient]" = []
+        self._hello_marks: "list[int]" = []
+        self._rid = itertools.count(1)
+        self._topology_waiters: "dict[int, asyncio.Future]" = {}
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def connect(self, *, timeout: float = 30.0) -> None:
+        """Dial the router, fetch the topology, dial every worker."""
+        self._router_client = WireClient(
+            self.host,
+            self.port,
+            batch_max=self.batch_max,
+            flush_us=self.flush_us,
+            attempts=self.attempts,
+            on_line=self._intercept,
+            wire=self.wire,
+        )
+        await self._router_client.connect()
+        record = await self.fetch_topology(timeout=timeout)
+        self.router = router_from_topology(record)
+        for entry in record["workers"]:
+            link = WireClient(
+                str(entry.get("host", "127.0.0.1")),
+                int(entry["port"]),
+                batch_max=self.batch_max,
+                flush_us=self.flush_us,
+                attempts=self.attempts,
+                on_line=self._intercept,
+                wire=self.wire,
+            )
+            self._links.append(link)
+            self._hello_marks.append(-1)
+        self.epoch = int(record["epoch"])
+        for shard in range(len(self._links)):
+            await self._links[shard].connect()
+            await self._hello(shard)
+
+    async def fetch_topology(self, *, timeout: float = 30.0) -> dict:
+        """Request a fresh topology record over the router connection."""
+        rid = next(self._rid)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._topology_waiters[rid] = future
+        try:
+            await self._router_client.send_line(
+                encode_reply({"kind": "topology", "rid": rid}, self.wire)
+            )
+            self._router_client.flush()
+            record = await asyncio.wait_for(future, timeout)
+        finally:
+            self._topology_waiters.pop(rid, None)
+        self._apply_topology(record)
+        return record
+
+    async def _hello(self, shard: int) -> None:
+        """(Re-)announce direct mode on one worker connection.
+
+        Must run on every fresh connection: the server tracks direct mode
+        per *session*, so a transparent :class:`WireClient` reconnect
+        lands on a session that has not seen the hello yet.
+        ``_hello_marks`` remembers the link's ``reconnects`` counter at
+        the last hello so :meth:`_direct_send` can notice the gap.
+        """
+        link = self._links[shard]
+        await link.send_line(
+            encode_reply(
+                {"kind": "hello", "mode": "direct", "epoch": self.epoch},
+                self.wire,
+            )
+        )
+        self._hello_marks[shard] = link.reconnects
+
+    # ------------------------------------------------------------------
+    # Control-record interception
+    # ------------------------------------------------------------------
+    def _intercept(self, body: bytes) -> None:
+        record = None
+        try:
+            record = json.loads(body)
+        except (ValueError, UnicodeDecodeError):
+            pass
+        if isinstance(record, dict):
+            kind = record.get("kind")
+            if kind == "topology":
+                future = self._topology_waiters.pop(record.get("rid"), None)
+                if future is not None and not future.done():
+                    future.set_result(record)
+                else:
+                    self._apply_topology(record)
+                return
+            if kind == "moved":
+                self.moved_redirects += 1
+                topology = record.get("topology")
+                if isinstance(topology, dict):
+                    self._apply_topology(topology)
+                return
+            if kind == "hello":
+                return  # the ack of our own announcement
+        if self.on_line is not None:
+            self.on_line(body)
+
+    def _apply_topology(self, record: dict) -> None:
+        """Adopt a topology record's endpoints if it is newer than ours.
+
+        The routing *function* never changes within a cluster's lifetime
+        (``n_low`` / ``n_high`` / ``shards`` are fixed at start), so a
+        refresh only moves endpoints: each link's ``port``/``host`` is
+        updated in place, and the link's own late-bound reconnect logic
+        dials the new endpoint on its next send.
+        """
+        epoch = int(record.get("epoch", -1))
+        if epoch <= self.epoch or not self._links:
+            return
+        self.epoch = epoch
+        self.topology_refreshes += 1
+        for entry in record.get("workers", ()):
+            shard = int(entry["shard"])
+            if 0 <= shard < len(self._links):
+                self._links[shard].host = str(
+                    entry.get("host", self._links[shard].host)
+                )
+                self._links[shard].port = int(entry["port"])
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _shard_for(self, item) -> "int | None":
+        """Owning shard for direct delivery, or None to use the router."""
+        if isinstance(item, Update):
+            return self.router.shard_of(item.klass, item.object_id)
+        if isinstance(item, TransactionSpec):
+            if item.reads:
+                owners = {
+                    self.router.shard_of(item.view_class, gid)
+                    for gid in item.reads
+                }
+                if len(owners) == 1:
+                    return next(iter(owners))
+                return None  # cross-shard: needs the scatter-gather plane
+            return self.router.hash_shard(item.seq)
+        return None  # dicts and unknown records go through the router
+
+    async def send(self, item) -> None:
+        """Route one record: direct to its owner, or via the router."""
+        shard = self._shard_for(item)
+        if shard is None:
+            self.routed_specs += 1
+            if isinstance(item, dict):
+                await self._router_client.send_line(
+                    encode_reply(item, self.wire)
+                )
+            else:
+                await self._router_client.send(item)
+            return
+        await self._direct_send(shard, item)
+
+    async def _direct_send(self, shard: int, item) -> None:
+        link = self._links[shard]
+        try:
+            # Reconnect *before* writing so a fresh session hears the
+            # hello first: a global-id record on a session that is not in
+            # direct mode yet would be misread as shard-local.
+            await link._ensure_connected()
+            if link.reconnects != self._hello_marks[shard]:
+                await self._hello(shard)
+            await link.send(item)
+        except ConnectionError:
+            self.send_failures += 1
+            await self.refresh()
+            link = self._links[shard]
+            await link._ensure_connected()
+            await self._hello(shard)
+            await link.send(item)
+            return
+        self.direct_sends += 1
+
+    async def refresh(self, *, timeout: float = 30.0) -> None:
+        """Re-fetch the topology (after a dead worker connection)."""
+        await self.fetch_topology(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # WireClient-compatible surface
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        for link in self._links:
+            link.flush()
+        if self._router_client is not None:
+            self._router_client.flush()
+
+    async def backpressure(self) -> None:
+        for link in self._links:
+            await link.backpressure()
+        if self._router_client is not None:
+            await self._router_client.backpressure()
+
+    async def drain(self) -> None:
+        for link in self._links:
+            await link.drain()
+        if self._router_client is not None:
+            await self._router_client.drain()
+
+    async def aclose(self) -> None:
+        for link in self._links:
+            await link.aclose()
+        if self._router_client is not None:
+            await self._router_client.aclose()
+
+    @property
+    def reconnects(self) -> int:
+        """Total reconnections across the router and worker links."""
+        total = sum(link.reconnects for link in self._links)
+        if self._router_client is not None:
+            total += self._router_client.reconnects
+        return total
+
+    @property
+    def lines_received(self) -> int:
+        total = sum(link.lines_received for link in self._links)
+        if self._router_client is not None:
+            total += self._router_client.lines_received
+        return total

@@ -1,0 +1,869 @@
+"""Routing planes: the cluster's data plane, one instance per process.
+
+A :class:`RouterPlane` is everything the cluster's public socket does to
+one client session — protocol negotiation, per-shard batch routing over
+:class:`~repro.live.wire.RpcChannel` upstreams, cross-shard
+scatter-gather, shedding against down shards, snapshot and topology
+control records — extracted into a self-contained object so it can run
+
+* **in the parent** (``routers=1``, the founding topology): one plane
+  sharing the :class:`~repro.live.cluster.ShardCluster`'s router and
+  worker table, exactly the pre-extraction behavior; or
+* **in its own process** (``routers=N``): N planes each bound to the
+  *same* public ``(host, port)`` via ``SO_REUSEPORT``, the kernel
+  load-balancing client connections across them.  The PR 6 raw-frame
+  fast path is stateless per record, so planes need no coordination
+  beyond the worker topology the supervisor broadcasts over each
+  plane's control pipe.
+
+Every plane keeps its own routing/shed/fan-out counters and reports them
+through :meth:`RouterPlane.stats`; the cluster merges the per-plane
+stats into ``extras`` next to the per-shard results (see
+``merge_extras_sources`` in :mod:`repro.live.cluster`), plus one
+``extras["planes"]`` row per plane with its CPU seconds — the direct
+measurement of how much of the machine the routing tier burns.
+
+The plane also serves the ``{"kind": "topology"}`` control record
+(:func:`repro.db.sharding.topology_record`): the shard map a smart
+client needs to skip the router hop entirely and dial workers directly
+(see :class:`~repro.live.loadgen.DirectClient` and ``docs/SCALING.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import os
+import time
+from dataclasses import replace
+
+from repro.config import SimulationConfig
+from repro.core.sharding import merge_verdicts, route_batch
+from repro.db.objects import Update
+from repro.db.sharding import ShardRouter, topology_record
+from repro.live.runtime import LatencyTracker
+from repro.live.wire import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_CONNECT_ATTEMPTS,
+    DEFAULT_FLUSH_US,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSONL,
+    CoalescingWriter,
+    RpcChannel,
+    RpcDeadlineError,
+    RpcError,
+    WireProtocolError,
+    connect_with_retry,
+    encode_reply,
+    iter_frame_batches,
+    iter_line_batches,
+    negotiate_protocol,
+)
+from repro.workload.codec import (
+    TAG_SPEC,
+    decode_lines,
+    encode_frame,
+    encode_lines,
+    item_from_record,
+    peek_spec_budget,
+    peek_spec_route,
+    reroute_spec_frame,
+)
+from repro.workload.transactions import TransactionSpec
+
+logger = logging.getLogger(__name__)
+
+#: Correlation-id floor for cross-shard sub-reads.  Sub-reads share the
+#: worker's outcome-correlation keyspace with pass-through client seqs,
+#: so their rids start far above any plausible client sequence number —
+#: still comfortably inside the wire format's int64.  Rids only need to
+#: be unique *per upstream connection*, and every plane opens its own
+#: upstreams, so independent per-plane counters cannot collide.
+_RID_BASE = 1 << 62
+
+#: Control-pipe poll period inside a plane process.
+_PIPE_POLL = 0.02
+
+#: Bound on a remote plane's snapshot round trip through the parent.
+_SNAPSHOT_PIPE_WAIT = 30.0
+
+
+class ShardDownError(ConnectionError):
+    """A shard worker is dead or unreachable.
+
+    Raised by ``ShardCluster._shard_snapshot`` when a worker connection
+    yields EOF, and by ``ShardCluster.snapshot`` / ``shutdown`` when
+    *no* shard survives.  A single down shard never raises: its records
+    are shed and accounted while the survivors keep serving.
+    """
+
+
+def process_cpu_seconds() -> float:
+    """CPU seconds (user + system) consumed by the calling process.
+
+    Prefers :mod:`psutil` when the host has it; otherwise the
+    :func:`os.times` delta — no extra dependency either way.
+    """
+    try:
+        import psutil  # noqa: PLC0415 - optional, never installed by us
+    except ImportError:
+        t = os.times()
+        return t[0] + t[1]
+    try:
+        t = psutil.Process().cpu_times()
+        return t.user + t.system
+    except Exception:  # pragma: no cover - psutil edge failure
+        t = os.times()
+        return t[0] + t[1]
+
+
+def _encode_hop_frames(routed: list) -> bytes:
+    """One binary-hop payload from a routed batch.
+
+    Raw update frames (the binary-client fast path) are forwarded as-is;
+    anything materialized (JSONL-client updates, transaction specs) is
+    framed here.
+    """
+    return b"".join(
+        item if isinstance(item, bytes) else encode_frame(item)
+        for item in routed
+    )
+
+
+async def _jsonl_record_batches(reader, leftover: bytes):
+    """JSONL sessions as decoded-record batches (the frame-batch dual)."""
+    async for lines in iter_line_batches(reader, initial=leftover):
+        yield decode_lines(lines)
+
+
+class PlaneTopology:
+    """A plane-process's mutable copy of the worker topology.
+
+    Remote planes cannot read the parent's ``WorkerState`` table, so the
+    supervisor broadcasts ``("topology", epoch, workers)`` over each
+    plane's pipe whenever an endpoint changes (worker death, restart on
+    a fresh port, final mark-down); :meth:`apply` installs it.  Routing
+    decisions read :meth:`port_of` / :meth:`status_of` at use time, so a
+    broadcast takes effect on the very next record.
+    """
+
+    def __init__(
+        self,
+        n_low: int,
+        n_high: int,
+        shards: int,
+        *,
+        epoch: int = 0,
+        workers: "list[dict] | None" = None,
+    ) -> None:
+        self.n_low = n_low
+        self.n_high = n_high
+        self.shards = shards
+        self.epoch = epoch
+        self.workers = [dict(entry) for entry in workers or []] or [
+            {"shard": i, "host": "127.0.0.1", "port": 0, "status": "starting"}
+            for i in range(shards)
+        ]
+
+    def apply(self, epoch: int, workers: "list[dict]") -> None:
+        self.epoch = epoch
+        self.workers = [dict(entry) for entry in workers]
+
+    def port_of(self, shard: int) -> int:
+        return self.workers[shard]["port"]
+
+    def host_of(self, shard: int) -> str:
+        return self.workers[shard].get("host", "127.0.0.1")
+
+    def status_of(self, shard: int) -> str:
+        return self.workers[shard]["status"]
+
+    def record(self) -> dict:
+        return topology_record(
+            shards=self.shards,
+            n_low=self.n_low,
+            n_high=self.n_high,
+            epoch=self.epoch,
+            workers=self.workers,
+        )
+
+
+class RouterPlane:
+    """One routing plane: client sessions in, per-shard batches out.
+
+    Args:
+        config: The global configuration (object counts for the router,
+            the cost model for cross-shard deadline windows).
+        shards: Worker count.
+        topology: Live worker endpoints — a :class:`PlaneTopology`
+            (remote plane) or the cluster's adapter over its own
+            ``WorkerState`` table (in-parent plane).
+        wire: Protocol of the plane→worker hop (``"binary"``/``"jsonl"``).
+        batch_max / flush_us: Coalescing bounds, client and upstream side.
+        rpc_grace: Extra seconds on a cross-shard gather's firm deadline.
+        connect_attempts: Per-connection retry budget upstream.
+        index: This plane's index (0 for the in-parent plane).
+        router: Share an existing router instead of building one — the
+            in-parent plane shares the cluster's so accounting lands
+            where it always did.
+        snapshot_cb: Async callback returning one merged fleet snapshot
+            as an ``asdict`` payload (raises :class:`ShardDownError`
+            when no shard answers).  The parent owns the snapshot fan-in;
+            remote planes reach it over their control pipe.
+        shed_cb: Optional ``(shard, count)`` hook so the parent's
+            liveness table can mirror in-parent shedding immediately.
+        ring_push: Optional ``(shard, routed) -> list`` hook offering a
+            routed batch to the shard's shm ring; returns what still
+            needs TCP.  Only the in-parent plane can have one (a ring is
+            single-producer).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        shards: int,
+        topology,
+        wire: str = PROTOCOL_BINARY,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        flush_us: float = DEFAULT_FLUSH_US,
+        rpc_grace: float = 0.25,
+        connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+        index: int = 0,
+        router: "ShardRouter | None" = None,
+        snapshot_cb=None,
+        shed_cb=None,
+        ring_push=None,
+    ) -> None:
+        self.config = config
+        self.shards = shards
+        self.topology = topology
+        self.wire = wire
+        self.batch_max = batch_max
+        self.flush_us = flush_us
+        self.rpc_grace = rpc_grace
+        self.connect_attempts = connect_attempts
+        self.index = index
+        self.router = router if router is not None else ShardRouter(
+            config.updates.n_low, config.updates.n_high, shards
+        )
+        self.snapshot_cb = snapshot_cb
+        self.shed_cb = shed_cb
+        self.ring_push = ring_push
+        self.records_received = 0
+        self.errors = 0
+        self.sessions = 0
+        self.topology_requests = 0
+        self.shed_shard_down = [0] * shards
+        # Cross-shard scatter-gather accounting (merged into extras).
+        self.cross_shard_submits = 0
+        self.fanout_sub_reads = [0] * shards
+        self.sub_read_misses = [0] * shards
+        self.sub_read_aborts = [0] * shards
+        self.sub_read_deadline_misses = [0] * shards
+        self.sub_read_latency = LatencyTracker()
+        # One plane-wide correlation-id counter: a sub-read's rid is
+        # unique across this plane's sessions, so per-worker outcome
+        # keys never collide (rids scope to the upstream connection, and
+        # upstreams are never shared between planes).
+        self._rid = itertools.count(1)
+        self._cpu0 = process_cpu_seconds()
+        self._wall0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """This plane's counters, shaped for ``merge_extras_sources``.
+
+        The ``"plane"`` entry is this plane's row in
+        ``extras["planes"]``; ``cpu_seconds`` is the plane *process*'s
+        CPU time since construction (for the in-parent plane: the parent
+        process, which is almost entirely routing work).
+        """
+        return {
+            **self.router.accounting(),
+            "records_received": self.records_received,
+            "protocol_errors": self.errors,
+            "cross_shard_submits": self.cross_shard_submits,
+            "fanout_sub_reads": list(self.fanout_sub_reads),
+            "sub_read_misses": list(self.sub_read_misses),
+            "sub_read_aborts": list(self.sub_read_aborts),
+            "sub_read_deadline_misses": list(self.sub_read_deadline_misses),
+            "sub_read_latency_p99": self.sub_read_latency.percentile(0.99),
+            "shed_shard_down": list(self.shed_shard_down),
+            "topology_requests": self.topology_requests,
+            "plane": {
+                "plane": self.index,
+                "sessions": self.sessions,
+                "records_received": self.records_received,
+                "cpu_seconds": process_cpu_seconds() - self._cpu0,
+                "wall_seconds": time.monotonic() - self._wall0,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Client sessions
+    # ------------------------------------------------------------------
+    async def handle(self, reader, writer) -> None:
+        """One client session: route record batches, relay replies back.
+
+        The session's protocol is negotiated from its first bytes, same
+        as a plain :class:`~repro.live.server.IngestServer` session; it
+        is independent of the internal hop's protocol (``self.wire``) —
+        each upstream :class:`RpcChannel` re-frames pushed replies into
+        the client's protocol.
+
+        A shard worker dying mid-session never tears the session down:
+        its records are shed with typed error replies (see
+        :meth:`_shed`) while the other shards keep answering.
+        """
+        self.sessions += 1
+        upstreams: "dict[int, RpcChannel]" = {}
+        merges: "set[asyncio.Task]" = set()
+        downstream = CoalescingWriter(
+            writer, batch_max=self.batch_max, flush_us=self.flush_us
+        )
+        protocol = PROTOCOL_JSONL
+        try:
+            protocol, leftover = await negotiate_protocol(reader)
+            if protocol == PROTOCOL_BINARY:
+                # With a binary hop, update and spec frames stay raw end
+                # to end: routed by field peek, forwarded byte-identical
+                # (ids patched), never materialized in the router.
+                raw = self.wire == PROTOCOL_BINARY
+                batches = iter_frame_batches(
+                    reader, raw_updates=raw, raw_specs=raw
+                )
+            else:
+                batches = _jsonl_record_batches(reader, leftover)
+            async for records in batches:
+                await self._dispatch_batch(
+                    records, downstream, upstreams, protocol, merges
+                )
+                await downstream.backpressure()
+        except WireProtocolError as exc:
+            self.errors += 1
+            logger.warning("wire negotiation failed: %s", exc)
+        except ValueError as exc:
+            # Corrupt binary frame header: no resynchronization point.
+            self.errors += 1
+            logger.warning("binary session corrupt: %s", exc)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_session(upstreams, downstream, merges)
+
+    async def _close_session(self, upstreams, downstream, merges=()) -> None:
+        """Tear down one session's merge tasks, channels, and writers.
+
+        In-flight cross-shard gathers die with their client (nobody is
+        left to read the merged outcome); an upstream channel whose
+        reader failed with a real exception is logged and counted in
+        ``protocol_errors`` instead of being silently swallowed.
+        """
+        for task in list(merges):
+            task.cancel()
+        if merges:
+            await asyncio.gather(*merges, return_exceptions=True)
+        for channel in upstreams.values():
+            await channel.aclose()
+            if channel.failure is not None:
+                self.errors += 1
+                logger.warning(
+                    "upstream reply channel failed: %r", channel.failure
+                )
+        await downstream.aclose()
+
+    async def _dispatch_batch(
+        self,
+        records,
+        downstream,
+        upstreams,
+        protocol=PROTOCOL_JSONL,
+        merges=None,
+    ) -> None:
+        """Route one decoded wire batch, forward per (shard, batch).
+
+        ``records`` mixes dicts (JSONL lines, JSON frames),
+        already-built :class:`Update` instances or raw update/spec
+        frames (binary sessions), :class:`TransactionSpec` instances,
+        and ``Exception`` entries.  Updates batch per shard through
+        :meth:`_forward`; every transaction goes through
+        :meth:`_submit_spec` (single-owner pass-through or cross-shard
+        scatter-gather), flushing the updates collected so far first so
+        the transaction observes every earlier record on each shard's
+        connection.  A snapshot request likewise flushes, then answers
+        with the merged fleet snapshot; a topology request answers with
+        the current shard map.  A malformed record gets its error reply
+        and its neighbors proceed — same per-record error semantics as
+        the unbatched path.
+        """
+        if merges is None:
+            merges = set()
+        items: list = []
+        for record in records:
+            try:
+                if isinstance(record, Exception):
+                    raise record
+                if isinstance(record, bytes) and record[0] != TAG_SPEC:
+                    items.append(record)  # raw update frame
+                    continue
+                if isinstance(record, Update):
+                    items.append(record)
+                    continue
+                if isinstance(record, (TransactionSpec, bytes)):
+                    if items:
+                        await self._forward(
+                            items, downstream, upstreams, protocol
+                        )
+                        items = []
+                    await self._submit_spec(
+                        record, downstream, upstreams, protocol, merges
+                    )
+                    continue
+                if isinstance(record, dict) and record.get("kind") == "topology":
+                    self.topology_requests += 1
+                    reply = self.topology.record()
+                    rid = record.get("rid")
+                    if rid is not None:
+                        reply = {**reply, "rid": rid}
+                    downstream.write(encode_reply(reply, protocol))
+                    continue
+                if isinstance(record, dict) and record.get("kind") == "snapshot":
+                    await self._forward(items, downstream, upstreams, protocol)
+                    items = []
+                    try:
+                        merged = {"kind": "snapshot"}
+                        merged.update(await self.snapshot_cb())
+                        downstream.write(encode_reply(merged, protocol))
+                    except ShardDownError as exc:
+                        self.errors += 1
+                        downstream.write(
+                            encode_reply(
+                                {
+                                    "kind": "error",
+                                    "reason": "shard_down",
+                                    "message": str(exc),
+                                },
+                                protocol,
+                            )
+                        )
+                    # Snapshot replies are full fleet results — orders of
+                    # magnitude bigger than outcome lines — so they need
+                    # the same backpressure point as every other write
+                    # path, or a snapshot-spamming client grows the write
+                    # buffer without bound.
+                    await downstream.backpressure()
+                    continue
+                item = item_from_record(record)
+                if isinstance(item, TransactionSpec):
+                    if items:
+                        await self._forward(
+                            items, downstream, upstreams, protocol
+                        )
+                        items = []
+                    await self._submit_spec(
+                        item, downstream, upstreams, protocol, merges
+                    )
+                else:
+                    items.append(item)
+            except (ValueError, KeyError, TypeError) as exc:
+                self.errors += 1
+                self.router.note_routing_error()
+                self._error_reply(downstream, exc, protocol)
+        await self._forward(items, downstream, upstreams, protocol)
+
+    async def _submit_spec(
+        self, item, downstream, upstreams, protocol, merges
+    ) -> None:
+        """Route one transaction: pass-through or cross-shard scatter.
+
+        ``item`` is a :class:`TransactionSpec` or a raw binary
+        ``TAG_SPEC`` frame (binary client over a binary hop — split by
+        field peek, re-id'd by in-place patch, never materialized).
+
+        A read-set owned by one shard forwards as-is under the client's
+        own seq; the worker's outcome pushes straight back.  A read-set
+        spanning shards is split per owner, each sub-read submitted
+        under a fresh correlation id (:data:`_RID_BASE` + counter), and
+        a merge task gathers the per-shard verdicts under one shared
+        firm-deadline window (see :meth:`_gather_verdict`).  The scatter
+        refuses to start against a down owner: the whole transaction is
+        shed with one typed ``shard_down`` reply instead of burning the
+        live shards' work on a verdict that cannot commit.
+        """
+        router = self.router
+        self.records_received += 1
+        try:
+            if isinstance(item, bytes):
+                klass, seq, reads = peek_spec_route(item)
+                compute_time, slack = peek_spec_budget(item)
+                split = (
+                    router.split_reads(klass, reads)
+                    if reads
+                    else {router.hash_shard(seq): ()}
+                )
+
+                def make_sub(sub_id, local):
+                    return reroute_spec_frame(item, sub_id, local)
+
+            else:
+                seq = item.seq
+                reads = item.reads
+                compute_time, slack = item.compute_time, item.slack
+                split = (
+                    router.split_reads(item.view_class, reads)
+                    if reads
+                    else {router.hash_shard(seq): ()}
+                )
+
+                def make_sub(sub_id, local):
+                    return replace(item, seq=sub_id, reads=tuple(local))
+
+        except (ValueError, IndexError) as exc:
+            self.errors += 1
+            router.note_routing_error()
+            self._error_reply(downstream, exc, protocol)
+            return
+        if self.wire == PROTOCOL_BINARY:
+            def encode_one(sub):
+                return sub if isinstance(sub, bytes) else encode_frame(sub)
+        else:
+            def encode_one(sub):
+                return encode_lines([sub])
+        if len(split) == 1:
+            shard, local = next(iter(split.items()))
+            router.note_transaction_routed(shard)
+            if self.topology.status_of(shard) != "up":
+                self._shed(shard, 1, downstream, protocol)
+                return
+            try:
+                channel = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+                channel.post(encode_one(make_sub(seq, local)))
+                await channel.backpressure()
+            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+                self._shed(shard, 1, downstream, protocol)
+            return
+        down = [s for s in split if self.topology.status_of(s) != "up"]
+        if down:
+            self._shed(down[0], 1, downstream, protocol)
+            return
+        channels = {}
+        try:
+            for shard in split:
+                channels[shard] = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+        except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+            self._shed(shard, 1, downstream, protocol)
+            return
+        self.cross_shard_submits += 1
+        subs = []
+        for shard, local in split.items():
+            channel = channels[shard]
+            rid = _RID_BASE + next(self._rid)
+            channel.expect(rid)
+            channel.post(encode_one(make_sub(rid, local)))
+            channel.flush()
+            router.note_transaction_routed(shard)
+            self.fanout_sub_reads[shard] += 1
+            subs.append((shard, rid, channel))
+        # One shared window over the whole fan-out: the parent's own
+        # firm deadline (estimate + slack against the *global* read
+        # count) plus the configured wire grace.
+        system = self.config.system
+        timeout = (
+            compute_time
+            + len(reads) * (system.x_lookup / system.ips)
+            + slack
+            + self.rpc_grace
+        )
+        task = asyncio.ensure_future(
+            self._gather_verdict(seq, subs, timeout, downstream, protocol)
+        )
+        merges.add(task)
+        task.add_done_callback(merges.discard)
+
+    async def _gather_verdict(
+        self, seq, subs, timeout, downstream, protocol
+    ) -> None:
+        """Await every sub-read, merge the verdicts, reply to the client.
+
+        The firm deadline is enforced across the *slowest* shard: all
+        sub-reads share one deadline window, and a shard that cannot
+        answer inside it — or whose channel died mid-call — scores a
+        typed failure that merges as a parent miss
+        (:func:`~repro.core.sharding.merge_verdicts`).  Per-shard miss /
+        abort / deadline counters and observed sub-read round-trip
+        latencies feed ``extras``.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        deadline = started + timeout
+        outcomes = []
+        for shard, rid, channel in subs:
+            remaining = max(0.0, deadline - loop.time())
+            try:
+                record = await channel.result(rid, timeout=remaining)
+            except RpcDeadlineError:
+                self.sub_read_deadline_misses[shard] += 1
+                outcomes.append({
+                    "outcome": "missed",
+                    "read_stale": False,
+                    "finish_time": None,
+                    "failure": "sub_read_deadline",
+                })
+                continue
+            except RpcError as exc:
+                self.sub_read_deadline_misses[shard] += 1
+                outcomes.append({
+                    "outcome": "missed",
+                    "read_stale": False,
+                    "finish_time": None,
+                    "failure": exc.reason,
+                })
+                continue
+            self.sub_read_latency.record(loop.time() - started)
+            outcome = record.get("outcome")
+            if outcome == "missed":
+                self.sub_read_misses[shard] += 1
+            elif outcome == "aborted-stale":
+                self.sub_read_aborts[shard] += 1
+            outcomes.append(record)
+        verdict = merge_verdicts(outcomes)
+        reply = {
+            "kind": "outcome",
+            "seq": seq,
+            "outcome": verdict["outcome"],
+            "read_stale": verdict["read_stale"],
+            "finish_time": verdict["finish_time"],
+            "fanout": len(subs),
+        }
+        downstream.write(encode_reply(reply, protocol))
+        await downstream.backpressure()
+
+    async def _forward(
+        self, items, downstream, upstreams, protocol=PROTOCOL_JSONL
+    ) -> None:
+        """Group a decoded update batch by shard; one write per shard.
+
+        Transactions never reach this path any more (they go through
+        :meth:`_submit_spec`); what remains is the fire-and-forget
+        update stream.  With shm rings enabled (in-parent plane only),
+        each shard's updates ride its ring as one binary blob (falling
+        back to TCP when the ring is full or disabled).  Records owned
+        by a shard that is not up — or whose worker dies between the
+        liveness check and the write — are shed, not queued: the client
+        gets one ``shard_down`` error reply per record and the session
+        keeps flowing.
+        """
+        if not items:
+            return
+        def on_error(_item, exc):
+            self.errors += 1
+            self._error_reply(downstream, exc, protocol)
+        by_shard = route_batch(self.router, items, on_error=on_error)
+        encode_batch = (
+            _encode_hop_frames if self.wire == PROTOCOL_BINARY else encode_lines
+        )
+        for shard, routed in by_shard.items():
+            self.records_received += len(routed)
+            if self.topology.status_of(shard) != "up":
+                self._shed(shard, len(routed), downstream, protocol)
+                continue
+            if self.ring_push is not None:
+                routed = self.ring_push(shard, routed)
+                if not routed:
+                    continue
+            try:
+                channel = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+                channel.post(encode_batch(routed), len(routed))
+                await channel.backpressure()
+            except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+                self._shed(shard, len(routed), downstream, protocol)
+
+    def _shed(self, shard: int, count: int, downstream, protocol) -> None:
+        """Account and reply for records dropped on a down shard.
+
+        The cluster analogue of the paper's OSmax drop: the records are
+        lost by design, the loss is *counted* (per shard per plane,
+        summed into ``extras["shed_shard_down"]``), and the sender is
+        told with a typed outcome instead of a killed session.
+        """
+        self.shed_shard_down[shard] += count
+        if self.shed_cb is not None:
+            self.shed_cb(shard, count)
+        reply = encode_reply(
+            {"kind": "error", "reason": "shard_down", "shard": shard},
+            protocol,
+        )
+        for _ in range(count):
+            downstream.write(reply)
+
+    @staticmethod
+    def _error_reply(
+        downstream: CoalescingWriter, exc: Exception, protocol
+    ) -> None:
+        downstream.write(
+            encode_reply({"kind": "error", "message": str(exc)}, protocol)
+        )
+
+    async def _upstream(
+        self, shard: int, downstream, upstreams, protocol
+    ) -> RpcChannel:
+        """This client's RPC channel to one shard, opened on first use.
+
+        The channel speaks ``self.wire`` (a binary hop opens with the
+        preamble); worker replies that match a pending cross-shard
+        sub-read resolve its future, and everything else — pass-through
+        outcomes, worker error frames — pushes straight back to the
+        client, re-encoded into the session's protocol.  A cached
+        channel that is closing belongs to a dead (or restarted) worker
+        incarnation; it is discarded (its failure, if any, counted) and
+        reopened against the worker's *current* port —
+        :func:`~repro.live.wire.connect_with_retry` re-resolves the port
+        every attempt, so a restart mid-reconnect still lands.
+        """
+        channel = upstreams.get(shard)
+        if channel is not None:
+            if not channel.closing:
+                return channel
+            del upstreams[shard]
+            await channel.aclose()
+            if channel.failure is not None:
+                self.errors += 1
+                logger.warning(
+                    "upstream reply channel failed: %r", channel.failure
+                )
+        up_reader, up_writer = await connect_with_retry(
+            self.topology.host_of(shard),
+            lambda: self.topology.port_of(shard),
+            attempts=self.connect_attempts,
+        )
+
+        def push_reply(record, _down=downstream, _proto=protocol):
+            _down.write(encode_reply(record, _proto))
+
+        channel = RpcChannel(
+            up_reader,
+            up_writer,
+            protocol=self.wire,
+            batch_max=self.batch_max,
+            flush_us=self.flush_us,
+            on_push=push_reply,
+        )
+        upstreams[shard] = channel
+        return channel
+
+
+# ----------------------------------------------------------------------
+# Plane processes (routers >= 2)
+# ----------------------------------------------------------------------
+def _ignore_signals() -> None:
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
+def _router_plane_main(
+    conn, config, host, port, shards, wire, batch_max, flush_us,
+    rpc_grace, connect_attempts, index, epoch, workers,
+):
+    """Entry point of one routing-plane process (spawn context)."""
+    _ignore_signals()
+    asyncio.run(
+        _router_plane_async(
+            conn, config, host, port, shards, wire, batch_max, flush_us,
+            rpc_grace, connect_attempts, index, epoch, workers,
+        )
+    )
+
+
+async def _router_plane_async(
+    conn, config, host, port, shards, wire, batch_max, flush_us,
+    rpc_grace, connect_attempts, index, epoch, workers,
+):
+    """One plane process: serve the shared public port, obey the pipe.
+
+    The pipe protocol (parent → plane) is tokened request/reply:
+
+    * ``("topology", epoch, workers)`` — install a new shard map.
+    * ``("stats", token)`` → ``("stats", token, stats)``.
+    * ``("stop_ingest", token)`` → close the listening socket →
+      ``("ingest_closed", token)``.
+    * ``("snapshot_res", token, ok, payload)`` — the parent's answer to
+      this plane's ``("snapshot_req", token)`` (a client asked this
+      plane for a fleet snapshot; only the parent can fan it in).
+    * ``("stop", token)`` → ``("result", token, stats)``, then exit.
+    """
+    topology = PlaneTopology(
+        config.updates.n_low, config.updates.n_high, shards,
+        epoch=epoch, workers=workers,
+    )
+    snapshot_waiters: "dict[int, asyncio.Future]" = {}
+    tokens = itertools.count(1)
+
+    async def snapshot_cb() -> dict:
+        token = next(tokens)
+        waiter = asyncio.get_running_loop().create_future()
+        snapshot_waiters[token] = waiter
+        conn.send(("snapshot_req", token))
+        try:
+            ok, payload = await asyncio.wait_for(waiter, _SNAPSHOT_PIPE_WAIT)
+        finally:
+            snapshot_waiters.pop(token, None)
+        if not ok:
+            raise ShardDownError(str(payload))
+        return payload
+
+    plane = RouterPlane(
+        config,
+        shards=shards,
+        topology=topology,
+        wire=wire,
+        batch_max=batch_max,
+        flush_us=flush_us,
+        rpc_grace=rpc_grace,
+        connect_attempts=connect_attempts,
+        index=index,
+        snapshot_cb=snapshot_cb,
+    )
+    server = await asyncio.start_server(
+        plane.handle, host, port, reuse_port=True
+    )
+    conn.send(("ready", index))
+    stop_token = None
+    while stop_token is None:
+        while not conn.poll():
+            await asyncio.sleep(_PIPE_POLL)
+        message = conn.recv()
+        kind = message[0]
+        if kind == "topology":
+            topology.apply(message[1], message[2])
+        elif kind == "stats":
+            conn.send(("stats", message[1], plane.stats()))
+        elif kind == "stop_ingest":
+            if server is not None:
+                server.close()
+                try:
+                    await asyncio.wait_for(server.wait_closed(), 2.0)
+                except asyncio.TimeoutError:  # pragma: no cover - slow close
+                    pass
+                server = None
+            conn.send(("ingest_closed", message[1]))
+        elif kind == "snapshot_res":
+            waiter = snapshot_waiters.pop(message[1], None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result((message[2], message[3]))
+        elif kind == "stop":
+            stop_token = message[1]
+    if server is not None:
+        server.close()
+    conn.send(("result", stop_token, plane.stats()))

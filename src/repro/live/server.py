@@ -40,6 +40,24 @@ length-prefixed binary frame format of
 records, same semantics, same reply kinds (replies travel as JSON frame
 bodies), minus the per-record JSON tax.  JSONL and binary sessions coexist
 behind one listening socket.
+
+**Smart clients** (see ``docs/SCALING.md``) add three control records:
+
+* ``{"kind": "topology"}`` — replies with the cluster's shard map
+  (:func:`~repro.db.sharding.topology_record`): everything a client
+  needs to rebuild the routing function and dial workers directly.  A
+  standalone server answers a degenerate one-shard map for itself.
+* ``{"kind": "hello", "mode": "direct", "epoch": E}`` — declares this
+  session a *direct* session: the client routed its own records and
+  sends **global** object ids, which the worker translates to its dense
+  local ids on ownership-checked acceptance.
+* ``{"kind": "moved", ...}`` (server → client) — a direct record this
+  shard does not own (stale map after a restart/reshard) is dropped and
+  redirected: the reply names the owning shard, the current epoch, and
+  embeds a fresh topology record so the client refreshes without an
+  extra round trip.  An epoch change is also announced once per session
+  as an advisory ``moved`` (``reason="stale_epoch"``) ahead of the next
+  batch's records.
 """
 
 from __future__ import annotations
@@ -48,6 +66,7 @@ import asyncio
 import logging
 from dataclasses import asdict, replace
 
+from repro.db.sharding import topology_record
 from repro.live.runtime import LiveRuntime
 from repro.live.wire import (
     DEFAULT_BATCH_MAX,
@@ -68,6 +87,56 @@ from repro.workload.transactions import TransactionSpec
 logger = logging.getLogger(__name__)
 
 
+class ClusterView:
+    """One worker's live view of the cluster topology.
+
+    The supervisor broadcasts ``("topology", epoch, workers)`` over each
+    worker's control pipe whenever an endpoint changes; :meth:`apply`
+    installs it.  The worker uses the view to answer smart clients'
+    ``topology`` requests, to ownership-check direct records against the
+    shared (deterministic) router, and to stamp ``moved`` redirects with
+    the current epoch.
+    """
+
+    def __init__(
+        self,
+        router,
+        index: int,
+        *,
+        host: str = "127.0.0.1",
+        epoch: int = 0,
+        workers: "list[dict] | None" = None,
+    ) -> None:
+        self.router = router
+        self.index = index
+        self.host = host
+        self.epoch = epoch
+        self.workers = [dict(entry) for entry in workers or []]
+
+    def apply(self, epoch: int, workers: "list[dict]") -> None:
+        self.epoch = epoch
+        self.workers = [dict(entry) for entry in workers]
+
+    def record(self) -> dict:
+        return topology_record(
+            shards=self.router.shards,
+            n_low=self.router.n_low,
+            n_high=self.router.n_high,
+            epoch=self.epoch,
+            workers=self.workers,
+        )
+
+
+class _SessionState:
+    """Per-connection ingest state (direct-mode flag and last-seen epoch)."""
+
+    __slots__ = ("direct", "epoch")
+
+    def __init__(self) -> None:
+        self.direct = False
+        self.epoch = -1
+
+
 class IngestServer:
     """TCP front door for a :class:`LiveRuntime`.
 
@@ -80,6 +149,12 @@ class IngestServer:
             replies, the pre-batching wire behavior).
         flush_us: Reply flush deadline in microseconds for partially
             filled batches.
+        cluster_view: This worker's :class:`ClusterView` when it serves
+            one shard of a cluster (enables direct sessions with
+            ownership checks and ``moved`` redirects); ``None`` for a
+            standalone server, which answers a degenerate one-shard
+            topology and accepts direct sessions trivially (global and
+            local ids coincide at ``shards=1``).
     """
 
     def __init__(
@@ -90,16 +165,37 @@ class IngestServer:
         *,
         batch_max: int = DEFAULT_BATCH_MAX,
         flush_us: float = DEFAULT_FLUSH_US,
+        cluster_view: "ClusterView | None" = None,
     ) -> None:
         self.runtime = runtime
         self.host = host
         self.port = port
         self.batch_max = batch_max
         self.flush_us = flush_us
+        self.cluster_view = cluster_view
         self.connections = 0
         self.records_received = 0
         self.errors = 0
+        # Smart-client accounting (merged into cluster extras).
+        self.topology_requests = 0
+        self.hello_records = 0
+        self.direct_records = 0
+        self.moved_replies = 0
+        self.stale_epoch_redirects = 0
         self._server: asyncio.AbstractServer | None = None
+
+    def direct_accounting(self) -> "dict | None":
+        """Smart-client counters, or ``None`` when no client used them."""
+        counters = {
+            "topology_requests": self.topology_requests,
+            "hello_records": self.hello_records,
+            "direct_records": self.direct_records,
+            "moved_replies": self.moved_replies,
+            "stale_epoch_redirects": self.stale_epoch_redirects,
+        }
+        if not any(counters.values()):
+            return None
+        return counters
 
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
@@ -128,6 +224,7 @@ class IngestServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections += 1
+        session = _SessionState()
         replies = CoalescingWriter(
             writer, batch_max=self.batch_max, flush_us=self.flush_us
         )
@@ -138,7 +235,7 @@ class IngestServer:
             else:
                 batches = self._jsonl_record_batches(reader, leftover)
             async for records in batches:
-                self._dispatch_batch(records, replies, protocol)
+                self._dispatch_batch(records, replies, protocol, session)
                 # One backpressure point per read batch: ingestion never
                 # outruns a reply reader that has stopped consuming.
                 await replies.backpressure()
@@ -168,6 +265,7 @@ class IngestServer:
         records: list,
         replies: CoalescingWriter,
         protocol: str = PROTOCOL_JSONL,
+        session: "_SessionState | None" = None,
     ) -> None:
         """Deliver one decoded wire batch in order.
 
@@ -178,8 +276,23 @@ class IngestServer:
         :meth:`LiveRuntime.ingest_batch` call; a transaction or snapshot
         record flushes the pending updates first, so every record observes
         exactly the runtime state the wire order implies.
+
+        On a *direct* session (``session.direct``) against a cluster
+        worker, every record is ownership-checked first: a record this
+        shard does not own is dropped with a ``moved`` redirect, an
+        owned record has its global object ids translated to this
+        shard's dense local ids before delivery.
         """
         runtime = self.runtime
+        view = self.cluster_view
+        # A direct client's shard map went stale (worker restart bumped
+        # the epoch): announce it once, ahead of this batch's records,
+        # so the client refreshes before burning sends on redirects.
+        if (
+            session is not None and session.direct and view is not None
+            and session.epoch != view.epoch
+        ):
+            self._stale_advisory(session, replies, protocol)
         # The whole batch arrived in one socket read: it shares one
         # delivery instant, exactly like a burst in the paper's stream.
         now = runtime.clock.now
@@ -218,7 +331,46 @@ class IngestServer:
                         if rid is not None:
                             reply["rid"] = rid
                         reply.update(asdict(runtime.snapshot()))
+                        direct = self.direct_accounting()
+                        if direct is not None:
+                            # Ship the smart-client counters with every
+                            # snapshot so the cluster merge can fold them
+                            # in next to the planes' routing counters.
+                            extras = dict(reply.get("extras") or {})
+                            extras["direct"] = direct
+                            reply["extras"] = extras
                         self._reply(replies, reply, protocol)
+                        continue
+                    if kind == "topology":
+                        self.topology_requests += 1
+                        reply = self._topology_record()
+                        if rid is not None:
+                            reply = {**reply, "rid": rid}
+                        self._reply(replies, reply, protocol)
+                        continue
+                    if kind == "hello":
+                        self.hello_records += 1
+                        if record.get("mode") == "direct" and session is not None:
+                            session.direct = True
+                            session.epoch = int(record.get("epoch", -1))
+                        reply = {
+                            "kind": "hello",
+                            "shard": view.index if view is not None else 0,
+                            "epoch": view.epoch if view is not None else 0,
+                        }
+                        if rid is not None:
+                            reply["rid"] = rid
+                        self._reply(replies, reply, protocol)
+                        if (
+                            session is not None and session.direct
+                            and view is not None
+                            and session.epoch != view.epoch
+                        ):
+                            # The hello itself announced a stale map —
+                            # advise now, not at the *next* batch, so a
+                            # hello+records burst gets its refresh ahead
+                            # of the records that follow it here.
+                            self._stale_advisory(session, replies, protocol)
                         continue
                     item = item_from_record(record)
             except (ValueError, KeyError, TypeError) as exc:
@@ -228,6 +380,11 @@ class IngestServer:
                     error["rid"] = rid
                 self._reply(replies, error, protocol)
                 continue
+            if session is not None and session.direct and view is not None:
+                item = self._localize_direct(item, replies, protocol)
+                if item is None:
+                    continue
+                self.direct_records += 1
             self.records_received += 1
             if isinstance(item, Update):
                 # Live arrivals are stamped at delivery time: the wire
@@ -247,6 +404,105 @@ class IngestServer:
                 handle.add_done_callback(on_outcome)
         if updates:
             runtime.ingest_batch(updates)
+
+    def _stale_advisory(self, session, replies, protocol) -> None:
+        """Tell a direct session its shard map is stale — once per epoch
+        change, with the fresh topology embedded for a free refresh."""
+        view = self.cluster_view
+        self.stale_epoch_redirects += 1
+        self._reply(replies, {
+            "kind": "moved",
+            "reason": "stale_epoch",
+            "shard": view.index,
+            "epoch": view.epoch,
+            "topology": view.record(),
+        }, protocol)
+        session.epoch = view.epoch
+
+    def _topology_record(self) -> dict:
+        """The topology record this server serves to smart clients.
+
+        A cluster worker serves the supervisor-broadcast fleet map; a
+        standalone server serves a degenerate one-shard map naming
+        itself (at ``shards=1`` the dense local ids coincide with the
+        global ids, so direct routing degenerates to plain sends).
+        """
+        view = self.cluster_view
+        if view is not None:
+            return view.record()
+        config = self.runtime.config
+        return topology_record(
+            shards=1,
+            n_low=config.updates.n_low,
+            n_high=config.updates.n_high,
+            epoch=0,
+            workers=[{
+                "shard": 0,
+                "host": self.host,
+                "port": self.port,
+                "status": "up",
+            }],
+        )
+
+    def _localize_direct(self, item, replies, protocol):
+        """Ownership-check one direct record; translate ids or redirect.
+
+        Returns the shard-local item to deliver, or ``None`` when the
+        record was dropped with a ``moved`` reply: this shard does not
+        own it (stale client map), or the spec's read-set spans shards
+        (direct clients must send those via a router plane).
+        """
+        view = self.cluster_view
+        router = view.router
+        if isinstance(item, Update):
+            owner = router.shard_of(item.klass, item.object_id)
+            if owner != view.index:
+                self._moved(replies, protocol, owner=owner)
+                return None
+            item.object_id = router.local_id(item.klass, item.object_id)
+            return item
+        if item.reads:
+            owners = {
+                router.shard_of(item.view_class, gid) for gid in item.reads
+            }
+            if owners != {view.index}:
+                foreign = next(iter(owners - {view.index}))
+                self._moved(
+                    replies, protocol, owner=foreign, seq=item.seq,
+                    reason="cross_shard" if len(owners) > 1 else "misrouted",
+                )
+                return None
+            local = tuple(
+                router.local_id(item.view_class, gid) for gid in item.reads
+            )
+            return replace(item, reads=local)
+        owner = router.hash_shard(item.seq)
+        if owner != view.index:
+            self._moved(replies, protocol, owner=owner, seq=item.seq)
+            return None
+        return item
+
+    def _moved(
+        self, replies, protocol, *, owner, seq=None, reason="misrouted"
+    ) -> None:
+        """Drop one direct record with a typed redirect.
+
+        The reply names the owning shard and the current epoch, and
+        embeds a fresh topology record so the client can refresh its map
+        (and resend) without an extra round trip.
+        """
+        view = self.cluster_view
+        self.moved_replies += 1
+        reply = {
+            "kind": "moved",
+            "reason": reason,
+            "shard": owner,
+            "epoch": view.epoch,
+            "topology": view.record(),
+        }
+        if seq is not None:
+            reply["seq"] = seq
+        self._reply(replies, reply, protocol)
 
     @staticmethod
     def _reply(
