@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hash-partition the keyspace over this many "
                         "pipelines on one virtual clock (default 1, the "
                         "classic single pipeline)")
+    parser.add_argument("--view", action="append", default=[], metavar="SPEC",
+                        help="register a derived view before the run "
+                        "(repeatable); SPEC is NAME=KIND:PARTITION with "
+                        "options, e.g. 'by8=sum:low,groups=8', "
+                        "'hot=top_k:high,k=4', 'w=window_avg:low,window=2.5'")
     parser.add_argument("--replications", type=int, default=1,
                         help="independent replications; > 1 prints mean ± CI")
     parser.add_argument("--workers", type=int, default=None,
@@ -115,6 +120,10 @@ def main(argv: list[str] | None = None) -> int:
             print("--shards is a single-run option; drop --replications",
                   file=sys.stderr)
             return 2
+        if args.view:
+            print("--view is a single-run option; drop --replications",
+                  file=sys.stderr)
+            return 2
         from repro.experiments.replication import run_replicated
         from repro.experiments.sweeps import default_workers
 
@@ -134,7 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         ))
         return 0
 
-    result = run_simulation(config, args.algorithm, shards=args.shards, **kwargs)
+    result = run_simulation(
+        config, args.algorithm, shards=args.shards, views=args.view, **kwargs
+    )
     print(format_result(result))
     violations = check_invariants(result)
     if violations:

@@ -294,6 +294,12 @@ class SystemParams:
     applied install into a partition that has an update transformer
     registered (running averages, unit conversions, ...)."""
 
+    x_view_refresh: int = 0
+    """Extension (paper §3.2 derived data): instructions to apply one
+    delta to one registered derived view (``repro.db.views``).  An eager
+    view charges this inside every applied install; a deferred view
+    charges it per buffered delta at refresh time."""
+
     os_queue_max: int = 4000
     """OS_max — maximum size of the OS (kernel) message queue."""
 
@@ -325,7 +331,7 @@ class SystemParams:
         if self.ips <= 0:
             raise ValueError(f"ips must be > 0, got {self.ips}")
         for name in ("x_lookup", "x_update", "x_switch", "x_queue", "x_scan",
-                     "x_transform"):
+                     "x_transform", "x_view_refresh"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if self.os_queue_max < 1:

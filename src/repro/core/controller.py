@@ -105,6 +105,9 @@ class Controller:
         self.transaction_log = transaction_log
         self.update_accounting = update_accounting
         self.cpu = cpu
+        # Set by ViewRegistry when the first eager view is registered;
+        # installs then carry the view-refresh instructions in their burst.
+        self.views = None
 
         self.ready: list[LiveTransaction] = []
         self.direct_installs: deque[Update] = deque()
@@ -332,6 +335,8 @@ class Controller:
             cost += self.system.x_update
             if self.database.has_transformer(update.klass):
                 cost += self.system.x_transform
+            if self.views is not None:
+                cost += self.views.eager_refresh_instructions(update.klass)
         return self._seconds(cost)
 
     def _start_install_burst(self, update: Update, extra_seconds: float = 0.0) -> str:

@@ -37,8 +37,9 @@ from repro.core.wiring import (
     collect_result,
     reset_measurement,
 )
-from repro.db.objects import Update
+from repro.db.objects import ObjectClass, Update
 from repro.db.sharding import ShardRouter
+from repro.db.views import ViewSpec, merge_view_reports
 from repro.metrics.freshness import SampledLedger
 from repro.metrics.results import SimulationResult
 from repro.sim.clock import Clock
@@ -361,6 +362,18 @@ class ShardSet:
         for shard in self.shards:
             shard.parts.controller.finalize(now)
             shard.parts.ledger.finalize(now)
+            shard.parts.views.finalize(now)
+
+    def register_view(self, spec: ViewSpec, now: float = 0.0) -> ViewSpec:
+        """Register a derived view on every shard.
+
+        Each shard maintains the view over the members it owns; group keys
+        are computed from global ids (the key map installed at build time),
+        so :meth:`collect` can merge the per-shard states exactly.
+        """
+        for shard in self.shards:
+            shard.parts.views.register(spec, now)
+        return spec
 
     def collect(
         self,
@@ -392,6 +405,13 @@ class ShardSet:
         merged_extras = dict(self.router.accounting())
         if extras:
             merged_extras.update(extras)
+        view_reports = [
+            shard.parts.views.report(now)
+            for shard in self.shards
+            if shard.parts.views.specs
+        ]
+        if view_reports:
+            merged_extras.setdefault("views", merge_view_reports(view_reports))
         return SimulationResult.merge(
             per_shard,
             weights_low=[shard.n_low for shard in self.shards],
@@ -443,6 +463,20 @@ def build_shard_set(
     for index in range(shards):
         sub_config = shard_config(config, router, index)
         parts = build_parts(sub_config, algorithm, clock, **algorithm_kwargs)
+        parts.views.set_key_map(shard_view_key_map(router, index))
         k_low, k_high = router.counts(index)
         built.append(Shard(index=index, parts=parts, n_low=k_low, n_high=k_high))
     return ShardSet(config, router, built)
+
+
+def shard_view_key_map(router: ShardRouter, index: int):
+    """Local→global id map for one shard's view registry."""
+    tables = {
+        klass: router.global_ids(index, klass)
+        for klass in (ObjectClass.VIEW_LOW, ObjectClass.VIEW_HIGH)
+    }
+
+    def key_map(klass: ObjectClass, local_id: int) -> int:
+        return tables[klass][local_id]
+
+    return key_map

@@ -69,6 +69,7 @@ class Simulation:
         self.update_accounting = parts.update_accounting
         self.cpu = parts.cpu
         self.controller = parts.controller
+        self.views = parts.views
 
         self.streams = StreamFamily(config.seed)
         self.update_generator = UpdateStreamGenerator(
@@ -78,6 +79,15 @@ class Simulation:
             config, self.engine, self.streams, self.shard_set.route_spec
         )
         self._ran = False
+
+    def register_view(self, spec) -> None:
+        """Register a derived view (a :class:`~repro.db.views.ViewSpec`
+        or its CLI string form) on every shard before running."""
+        from repro.db.views import ViewSpec
+
+        if isinstance(spec, str):
+            spec = ViewSpec.parse(spec)
+        self.shard_set.register_view(spec, self.engine.now)
 
     def run(self) -> SimulationResult:
         """Execute the run and return its metrics."""
@@ -141,7 +151,17 @@ def run_simulation(
     config: SimulationConfig,
     algorithm: str | SchedulingAlgorithm = "TF",
     shards: int = 1,
+    views=(),
     **algorithm_kwargs,
 ) -> SimulationResult:
-    """Build and run one simulation; see :class:`Simulation`."""
-    return Simulation(config, algorithm, shards=shards, **algorithm_kwargs).run()
+    """Build and run one simulation; see :class:`Simulation`.
+
+    Args:
+        views: Optional derived views to register before the run —
+            :class:`~repro.db.views.ViewSpec` objects or their CLI string
+            forms (``NAME=KIND:PARTITION[,opt=...]``).
+    """
+    simulation = Simulation(config, algorithm, shards=shards, **algorithm_kwargs)
+    for spec in views:
+        simulation.register_view(spec)
+    return simulation.run()

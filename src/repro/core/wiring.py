@@ -29,6 +29,7 @@ from repro.db.objects import ObjectClass
 from repro.db.os_queue import OSQueue
 from repro.db.staleness import StalenessChecker, make_staleness_checker
 from repro.db.update_queue import PartitionedUpdateQueue, UpdateQueue
+from repro.db.views import ViewRegistry
 from repro.metrics.collectors import CpuAccounting, TransactionLog, UpdateAccounting
 from repro.metrics.freshness import FreshnessLedger, make_ledger
 from repro.metrics.results import SimulationResult
@@ -51,6 +52,7 @@ class RuntimeParts:
     update_accounting: UpdateAccounting
     cpu: CpuAccounting
     controller: Controller
+    views: ViewRegistry
 
 
 def build_parts(
@@ -104,6 +106,15 @@ def build_parts(
         update_accounting=update_accounting,
         cpu=cpu,
     )
+    views = ViewRegistry()
+    views.bind(
+        database,
+        update_queue,
+        controller=controller,
+        x_view_refresh=config.system.x_view_refresh,
+        cpu=cpu,
+        seconds_per_refresh=config.system.seconds(config.system.x_view_refresh),
+    )
     return RuntimeParts(
         config=config,
         algorithm=algorithm,
@@ -117,6 +128,7 @@ def build_parts(
         update_accounting=update_accounting,
         cpu=cpu,
         controller=controller,
+        views=views,
     )
 
 
@@ -141,6 +153,7 @@ def reset_measurement(parts: RuntimeParts, now: float) -> None:
     parts.os_queue.reset_counters()
     parts.update_queue.reset_counters()
     parts.ledger.begin_measurement(now)
+    parts.views.begin_measurement(now)
 
 
 def collect_result(
@@ -185,6 +198,15 @@ def collect_result(
             raise ValueError("mid-run snapshots need the current clock time")
         fold_low = ledger.snapshot_stale_fraction(ObjectClass.VIEW_LOW, now, duration)
         fold_high = ledger.snapshot_stale_fraction(ObjectClass.VIEW_HIGH, now, duration)
+
+    views = parts.views
+    if final:
+        fold_views = views.stale_fraction(duration) if len(views) else 0.0
+    else:
+        fold_views = views.snapshot_stale_fraction(now, duration)
+    if len(views):
+        extras = dict(extras) if extras is not None else {}
+        extras.setdefault("views", views.report(now))
 
     controller = parts.controller
     accounting = parts.update_accounting
@@ -231,5 +253,8 @@ def collect_result(
         context_switches=parts.cpu.context_switches,
         preemptions=parts.cpu.preemptions,
         events_dispatched=parts.clock.events_dispatched,
+        fold_views=fold_views,
+        views_registered=len(views),
+        view_refreshes=views.refreshes,
         extras=extras if extras is not None else {},
     )

@@ -93,6 +93,9 @@ class Database:
         ]
         self.general = GeneralStore()
         self.install_listener = install_listener
+        # Derived-view hook (repro.db.views.ViewRegistry); attached only
+        # when a view is registered, unlike the swap-prone install_listener.
+        self.views = None
         self.installs_applied = 0
         self.installs_skipped = 0
         if history_depth > 0:
@@ -205,6 +208,7 @@ class Database:
         old_generation = obj.generation_time
         old_arrival_time = obj.arrival_time
         old_install_time = obj.install_time
+        old_value = obj.value
         transformer = self._transformers.get(update.klass)
         stored_value = (
             update.value
@@ -232,4 +236,6 @@ class Database:
             self.install_listener.note_install(
                 obj, old_generation, old_arrival_time, old_install_time, now
             )
+        if self.views is not None:
+            self.views.note_base_install(obj, old_value, now)
         return True

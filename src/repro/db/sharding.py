@@ -138,6 +138,18 @@ class ShardRouter:
         low, high = self.counts(shard)
         return low if _class_bit(klass) == 0 else high
 
+    def global_ids(self, shard: int, klass: ObjectClass) -> "list[int]":
+        """Global object ids one shard owns, indexed by dense local id.
+
+        Local ids are assigned in global-id order, so the returned list is
+        the exact inverse of :meth:`local_id` for this shard: entry ``i``
+        is the global id of the shard's local object ``i``.  Used by the
+        view registry to compute group keys from global ids, so per-shard
+        view states merge without collisions.
+        """
+        table = self._shard_low if _class_bit(klass) == 0 else self._shard_high
+        return [gid for gid, owner in enumerate(table) if owner == shard]
+
     def hash_shard(self, value: int) -> int:
         """A stable shard choice for values that are not object ids
         (e.g. the sequence number of a transaction with no reads)."""

@@ -75,8 +75,24 @@ class Table:
         self.key = key
         self._rows: dict[Any, Row] = {}
         self._secondary: dict[str, dict[Any, set[Any]]] = {}
+        self._listeners: list[Callable[[Row | None, Row | None], None]] = []
         self.reads = 0
         self.writes = 0
+
+    def add_listener(
+        self, listener: Callable[[Row | None, Row | None], None]
+    ) -> None:
+        """Subscribe to mutations as ``(old_row, new_row)`` pairs.
+
+        ``old_row`` is None for inserts, ``new_row`` is None for deletes;
+        both are set for replacements.  Derived views
+        (:mod:`repro.db.views`) use this to maintain exact deltas.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, old_row: Row | None, new_row: Row | None) -> None:
+        for listener in self._listeners:
+            listener(old_row, new_row)
 
     # ------------------------------------------------------------------
     # Index management
@@ -110,6 +126,7 @@ class Table:
         for column, index in self._secondary.items():
             index.setdefault(row[column], set()).add(key_value)
         self.writes += 1
+        self._notify(old, row)
 
     def delete(self, key_value: Any) -> bool:
         """Delete by primary key; returns True if a row was removed."""
@@ -118,6 +135,7 @@ class Table:
             return False
         self._unindex(key_value, row)
         self.writes += 1
+        self._notify(row, None)
         return True
 
     def update_where(
@@ -125,19 +143,40 @@ class Table:
         predicate: Callable[[Row], bool],
         changes: Mapping[str, Any],
     ) -> int:
-        """Apply column changes to every row matching ``predicate``."""
+        """Apply column changes to every row matching ``predicate``.
+
+        Only indexes on columns named in ``changes`` (and whose values
+        actually change) are touched; buckets for the other indexed
+        columns keep their identity.
+        """
         bad = set(changes) - set(self.columns)
         if bad:
             raise SchemaError(f"unknown columns in update: {sorted(bad)}")
         if self.key in changes:
             raise SchemaError("cannot change the primary key in update_where")
+        changed_indexes = [c for c in self._secondary if c in changes]
         touched = 0
         for key_value, row in list(self._rows.items()):
-            if predicate(row):
-                merged = row.as_dict()
-                merged.update(changes)
-                self.upsert(merged)
-                touched += 1
+            if not predicate(row):
+                continue
+            merged = row.as_dict()
+            merged.update(changes)
+            new_row = Row(merged)
+            for column in changed_indexes:
+                old_value, new_value = row[column], new_row[column]
+                if old_value == new_value:
+                    continue
+                index = self._secondary[column]
+                bucket = index.get(old_value)
+                if bucket is not None:
+                    bucket.discard(key_value)
+                    if not bucket:
+                        del index[old_value]
+                index.setdefault(new_value, set()).add(key_value)
+            self._rows[key_value] = new_row
+            self.writes += 1
+            self._notify(row, new_row)
+            touched += 1
         return touched
 
     # ------------------------------------------------------------------
@@ -162,8 +201,18 @@ class Table:
         return [row for row in self._rows.values() if row[column] == value]
 
     def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
-        """Full scan, optionally filtered."""
+        """Full scan, optionally filtered.
+
+        The read is counted when ``scan()`` is called — not lazily on
+        first consumption of the iterator — so an abandoned scan still
+        shows up in the counters.
+        """
         self.reads += 1
+        return self._scan_iter(predicate)
+
+    def _scan_iter(
+        self, predicate: Callable[[Row], bool] | None
+    ) -> Iterator[Row]:
         for row in self._rows.values():
             if predicate is None or predicate(row):
                 yield row

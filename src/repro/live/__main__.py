@@ -167,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="carry the update stream to shard workers over "
                        "shared-memory rings instead of loopback TCP "
                        "(sharded mode; implies --wire binary for the hop)")
+    serve.add_argument("--view", action="append", default=[], metavar="SPEC",
+                       help="register a derived view at startup "
+                       "(repeatable); SPEC is NAME=KIND:PARTITION with "
+                       "options, e.g. 'by8=sum:low,groups=8' or "
+                       "'hot=top_k:high,k=4' — sharded mode registers it "
+                       "on every worker and merges the per-shard reports")
     serve.add_argument("--routers", type=int, default=1,
                        help="router plane processes sharing the public port "
                        "via SO_REUSEPORT (sharded mode; default 1 — the "
@@ -203,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--shards", type=int, default=1,
                          help="shard count of the target deployment, for "
                          "--cross-shard-frac's routing (default 1)")
+    loadgen.add_argument("--view", action="append", default=[], metavar="SPEC",
+                         help="register a derived view on the server before "
+                         "streaming (repeatable); same SPEC syntax as "
+                         "serve --view — acks are tallied in the outcome "
+                         "counts as 'views_registered'")
     loadgen.add_argument("--direct", action="store_true",
                          help="smart-client mode: fetch the cluster's "
                          "topology record, rebuild the shard map locally "
@@ -259,6 +270,10 @@ async def _serve(args) -> int:
         # timestamps stay comparable with post-restart measurements.
         clock = WallClock(start_at=manager.resume_at)
     runtime = LiveRuntime(config, args.algorithm, clock=clock)
+    # Views registered before recovery see every replayed install as a
+    # delta, so a warm restart comes back with the views already current.
+    for spec in args.view:
+        runtime.register_view(spec)
     runtime.start()
     if manager is not None:
         stats = await manager.recover(runtime)
@@ -322,6 +337,7 @@ async def _serve_sharded(args) -> int:
         fsync=args.fsync,
         snapshot_interval=args.snapshot_interval,
         routers=args.routers,
+        views=args.view,
     )
     host, port = await cluster.start()
     planes = (f", {args.routers} router planes" if args.routers > 1 else "")
@@ -387,6 +403,8 @@ async def _loadgen(args) -> int:
                 counts["cross_shard"] = counts.get("cross_shard", 0) + 1
         elif record.get("kind") == "error" and record.get("reason") == "shard_down":
             counts["shed_shard_down"] = counts.get("shed_shard_down", 0) + 1
+        elif record.get("kind") == "view-registered":
+            counts["views_registered"] = counts.get("views_registered", 0) + 1
 
     client_cls = DirectClient if args.direct else WireClient
     client = client_cls(
@@ -400,6 +418,22 @@ async def _loadgen(args) -> int:
               f"{client.router.shards} workers (topology epoch "
               f"{client.epoch})", file=sys.stderr, flush=True)
     config = _build_config(args)
+    if args.view:
+        # Registrations travel in-order ahead of the stream, so every
+        # subsequent install is already a delta against the new views.
+        from repro.db.views import ViewSpec
+        from repro.live.wire import encode_reply
+        for offset, spec_text in enumerate(args.view):
+            record = {
+                "kind": "register_view",
+                "rid": 1_000_000_000 + offset,
+                "view": ViewSpec.parse(spec_text).to_record(),
+            }
+            if args.direct:
+                await client.send(record)
+            else:
+                await client.send_line(encode_reply(record, args.wire))
+        client.flush()
     streams = StreamFamily(config.seed)
     spreader = None
     if args.cross_shard_frac > 0.0:

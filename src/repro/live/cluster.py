@@ -86,7 +86,8 @@ import socket
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.config import SimulationConfig
-from repro.core.sharding import shard_config
+from repro.core.sharding import shard_config, shard_view_key_map
+from repro.db.views import merge_view_reports
 from repro.db.sharding import ROUTER_VERSION, ShardRouter, topology_record
 from repro.live.clock import WallClock
 from repro.live.durability import DurabilityManager
@@ -218,6 +219,7 @@ def _serve_worker_main(
     conn, config, algorithm, algorithm_kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
     ring_name=None, log_dir=None, fsync="never", snapshot_interval=5.0,
+    views=None,
 ):
     """Entry point of one serving shard (runs in a spawned process)."""
     _ignore_signals()
@@ -225,7 +227,7 @@ def _serve_worker_main(
         _serve_worker_async(
             conn, config, algorithm, algorithm_kwargs, index, shards,
             batch_max, flush_us, ring_name, log_dir, fsync,
-            snapshot_interval,
+            snapshot_interval, views,
         )
     )
 
@@ -278,6 +280,7 @@ async def _serve_worker_async(
     conn, config, algorithm, kwargs, index, shards,
     batch_max=DEFAULT_BATCH_MAX, flush_us=DEFAULT_FLUSH_US,
     ring_name=None, log_dir=None, fsync="never", snapshot_interval=5.0,
+    views=None,
 ):
     router = ShardRouter(config.updates.n_low, config.updates.n_high, shards)
     view = ClusterView(router, index)
@@ -305,6 +308,12 @@ async def _serve_worker_async(
         stats = await manager.recover(runtime)
         manager.attach(runtime)
         manager.start(runtime)
+    if views:
+        # Group keys must be global object ids so the supervisor can
+        # merge per-shard view states without collisions.
+        runtime.views.set_key_map(shard_view_key_map(router, index))
+        for record in views:
+            runtime.register_view(record)
     server = IngestServer(
         runtime, "127.0.0.1", 0, batch_max=batch_max, flush_us=flush_us,
         cluster_view=view,
@@ -496,6 +505,9 @@ class WorkerState:
             on its warm start (0 for cold starts).
         replay_lag_s: Wall seconds the warm start spent restoring +
             replaying — the shard's recovery-staleness component.
+        snapshot_errors: Failed durability snapshot captures the worker
+            has reported (via snapshot extras; 0 when not durable).
+        last_snapshot_error: Most recent capture failure, as ``repr``.
     """
 
     index: int
@@ -512,6 +524,8 @@ class WorkerState:
     ring_fallbacks: int = 0
     replayed_records: int = 0
     replay_lag_s: float = 0.0
+    snapshot_errors: int = 0
+    last_snapshot_error: "str | None" = None
 
     def liveness(self) -> dict:
         """This worker's row in ``extras["workers"]``."""
@@ -526,6 +540,8 @@ class WorkerState:
             "ring_fallbacks": self.ring_fallbacks,
             "replayed_records": self.replayed_records,
             "replay_lag_s": self.replay_lag_s,
+            "snapshot_errors": self.snapshot_errors,
+            "last_snapshot_error": self.last_snapshot_error,
         }
 
 
@@ -662,6 +678,7 @@ class ShardCluster:
         log_dir: "str | None" = None,
         fsync: str = "never",
         snapshot_interval: float = 5.0,
+        views: "list | None" = None,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardCluster needs >= 2 shards")
@@ -710,6 +727,19 @@ class ShardCluster:
         self.log_dir = log_dir
         self.fsync = fsync
         self.snapshot_interval = snapshot_interval
+        # Derived views registered on every worker at spawn: ViewSpec
+        # objects, CLI strings, or wire records — normalized to records
+        # here (they cross the process boundary as plain dicts).
+        from repro.db.views import ViewSpec
+
+        self.views = [
+            (
+                ViewSpec.parse(spec) if isinstance(spec, str)
+                else ViewSpec.from_record(spec) if isinstance(spec, dict)
+                else spec
+            ).to_record()
+            for spec in (views or [])
+        ]
         self.router = ShardRouter(
             config.updates.n_low, config.updates.n_high, shards
         )
@@ -971,6 +1001,7 @@ class ShardCluster:
                 self.log_dir,
                 self.fsync,
                 self.snapshot_interval,
+                self.views,
             ),
             daemon=True,
         )
@@ -1403,6 +1434,19 @@ class ShardCluster:
         if indices is None:
             indices = list(range(self.shards))
         weights = [self.router.counts(index) for index in indices]
+        # Durability snapshot-failure gauges ride along in each shard's
+        # snapshot extras; copy them onto the worker table so liveness()
+        # and the merged extras both expose them.
+        for result, index in zip(per_shard, indices):
+            shard_extras = result.extras or {}
+            if "snapshot_errors" in shard_extras:
+                state = next(
+                    w for w in self._workers if w.index == index
+                )
+                state.snapshot_errors = shard_extras["snapshot_errors"]
+                state.last_snapshot_error = shard_extras.get(
+                    "last_snapshot_error"
+                )
         workers = self.liveness()
         sources = [self._zero_stats()]
         for stats in self._plane_sources():
@@ -1431,7 +1475,17 @@ class ShardCluster:
             "durability": self.log_dir is not None,
             "replayed_records": [w["replayed_records"] for w in workers],
             "replay_lag_s": [w["replay_lag_s"] for w in workers],
+            "snapshot_errors": [w["snapshot_errors"] for w in workers],
+            "last_snapshot_error": [
+                w["last_snapshot_error"] for w in workers
+            ],
         })
+        view_sources = [
+            (result.extras or {}).get("views") for result in per_shard
+        ]
+        view_sources = [source for source in view_sources if source]
+        if view_sources:
+            extras["views"] = merge_view_reports(view_sources)
         return SimulationResult.merge(
             per_shard,
             weights_low=[low for low, _ in weights],

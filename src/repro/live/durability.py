@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import os
 import struct
 import time
@@ -61,6 +62,8 @@ from repro.workload.codec import (
     WIRE_SCHEMA_VERSION,
     encode_update_frame,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Log header frame tag — outside the wire tags (0x01/0x02/0x1F) so a log
 #: file can never be mistaken for a wire capture and vice versa.
@@ -680,6 +683,7 @@ class DurabilityManager:
         self.stats: ReplayStats | None = None
         self.snapshots_taken = 0
         self.snapshot_errors = 0
+        self.last_snapshot_error: str | None = None
         self._task: asyncio.Task | None = None
 
     @property
@@ -694,6 +698,7 @@ class DurabilityManager:
         """Open the log for append and hook it into the ingest path."""
         self.log.open()
         runtime.update_log = self.log
+        runtime.durability = self
 
     def start(self, runtime) -> None:
         """Spawn the periodic snapshot loop (asyncio context required)."""
@@ -714,13 +719,22 @@ class DurabilityManager:
         self.log.rotate(lsn)
         self.snapshots_taken += 1
 
+    def _note_snapshot_error(self, exc: BaseException) -> None:
+        """Record a failed capture so operators can see it (mirrors
+        ``MetricsStreamer._note_sample_error``): counted, kept as the last
+        error string, logged — and surfaced in worker ``liveness()`` and
+        merged cluster extras."""
+        self.snapshot_errors += 1
+        self.last_snapshot_error = repr(exc)
+        logger.warning("shard %d snapshot failed: %r", self.shard, exc)
+
     async def _snapshot_loop(self, runtime) -> None:
         while True:
             await asyncio.sleep(self.snapshot_interval)
             try:
                 self.snapshot_now(runtime)
-            except Exception:
-                self.snapshot_errors += 1
+            except Exception as exc:
+                self._note_snapshot_error(exc)
 
     async def stop(self, runtime, *, final_snapshot: bool = True) -> None:
         """Cancel the loop, take the final snapshot, close the log.

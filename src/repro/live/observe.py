@@ -200,6 +200,23 @@ class MetricsStreamer:
                 lag = max(lag) if lag else 0.0
             if replayed:
                 line += f" replayed={replayed} replag={lag * 1e3:.0f}ms"
+        snapshot_errors = extras.get("snapshot_errors")
+        if isinstance(snapshot_errors, list):
+            snapshot_errors = sum(snapshot_errors)
+        if snapshot_errors:
+            line += f" snaperr={snapshot_errors}"
+        # Derived-view digest: count, stale count, applied deltas, fold.
+        views = extras.get("views")
+        if views:
+            stale = sum(1 for entry in views.values() if entry.get("stale"))
+            refreshes = sum(
+                entry.get("refreshes", 0) for entry in views.values()
+            )
+            line += (
+                f" views={stale}/{len(views)}stale"
+                f" vdeltas={refreshes}"
+                f" foldv={record.get('fold_views', 0.0):.3f}"
+            )
         return line
 
 

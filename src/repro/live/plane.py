@@ -431,6 +431,13 @@ class RouterPlane:
                         reply = {**reply, "rid": rid}
                     downstream.write(encode_reply(reply, protocol))
                     continue
+                if isinstance(record, dict) and record.get("kind") == "register_view":
+                    await self._forward(items, downstream, upstreams, protocol)
+                    items = []
+                    await self._register_view(
+                        record, downstream, upstreams, protocol
+                    )
+                    continue
                 if isinstance(record, dict) and record.get("kind") == "snapshot":
                     await self._forward(items, downstream, upstreams, protocol)
                     items = []
@@ -643,6 +650,65 @@ class RouterPlane:
             "finish_time": verdict["finish_time"],
             "fanout": len(subs),
         }
+        downstream.write(encode_reply(reply, protocol))
+        await downstream.backpressure()
+
+    async def _register_view(
+        self, record, downstream, upstreams, protocol
+    ) -> None:
+        """Broadcast one view registration to every shard; ack once.
+
+        A derived view over a sharded keyspace is only correct when
+        every shard maintains its local slice (the merged report sums
+        per-shard partial aggregates — see
+        :func:`repro.db.views.merge_view_reports`), so the registration
+        fans out to *all* shards and the client's single ack waits for
+        the slowest one.  A down shard — or any shard rejecting the
+        spec — fails the whole registration with a typed error reply: a
+        view maintained on a subset of shards would merge to silently
+        wrong values.  Dynamically registered views live in the worker
+        processes only; a worker restart comes back without them.
+        """
+        client_rid = record.get("rid")
+        down = [
+            shard for shard in range(self.shards)
+            if self.topology.status_of(shard) != "up"
+        ]
+        if down:
+            self._shed(down[0], 1, downstream, protocol)
+            return
+        subs = []
+        try:
+            for shard in range(self.shards):
+                channel = await self._upstream(
+                    shard, downstream, upstreams, protocol
+                )
+                rid = _RID_BASE + next(self._rid)
+                channel.expect(rid)
+                channel.request({**record, "rid": rid})
+                channel.flush()
+                subs.append((shard, rid, channel))
+        except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+            self._shed(shard, 1, downstream, protocol)
+            return
+        reply = {
+            "kind": "view-registered",
+            "name": (record.get("view") or {}).get("name"),
+            "shards": len(subs),
+        }
+        for shard, rid, channel in subs:
+            try:
+                await channel.result(rid, timeout=_SNAPSHOT_PIPE_WAIT)
+            except RpcError as exc:
+                self.errors += 1
+                reply = {
+                    "kind": "error",
+                    "shard": shard,
+                    "message": getattr(exc, "message", str(exc)),
+                }
+                break
+        if client_rid is not None:
+            reply["rid"] = client_rid
         downstream.write(encode_reply(reply, protocol))
         await downstream.backpressure()
 

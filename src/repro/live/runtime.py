@@ -208,6 +208,7 @@ class LiveRuntime:
         self.transaction_log = parts.transaction_log
         self.update_accounting = parts.update_accounting
         self.cpu = parts.cpu
+        self.views = parts.views
 
         self.latency = LatencyTracker()
         self.database.install_listener = _InstallTap(self.ledger, self.latency)
@@ -228,6 +229,7 @@ class LiveRuntime:
         # attached, every OSmax-admitted update is appended to the
         # write-ahead log, and recovery stats surface in the gauges.
         self.update_log = None
+        self.durability = None
         self.replayed_records = 0
         self.replay_lag_s = 0.0
 
@@ -305,6 +307,22 @@ class LiveRuntime:
         if admitted:
             log.append_batch(admitted)
         return len(admitted)
+
+    def register_view(self, spec) -> None:
+        """Register a derived view (:class:`~repro.db.views.ViewSpec`, its
+        wire record, or its CLI string form) on the live pipeline.
+
+        Eager views refresh inside every applied install on the ingest
+        path; deferred views buffer deltas and refresh at every snapshot
+        and at finalize.
+        """
+        from repro.db.views import ViewSpec
+
+        if isinstance(spec, str):
+            spec = ViewSpec.parse(spec)
+        elif isinstance(spec, dict):
+            spec = ViewSpec.from_record(spec)
+        self.views.register(spec, self.clock.now)
 
     def submit(self, spec: TransactionSpec) -> TransactionHandle:
         """Submit one transaction; resolve its handle on commit/miss/abort."""
@@ -394,6 +412,7 @@ class LiveRuntime:
             now = self.clock.now
             self.controller.finalize(now)
             self.ledger.finalize(now)
+            self.views.finalize(now)
             self._finalized = collect_result(
                 self._parts,
                 now - self.measure_start,
@@ -413,8 +432,16 @@ class LiveRuntime:
     # Observability
     # ------------------------------------------------------------------
     def snapshot(self) -> SimulationResult:
-        """Mid-run metrics over ``[measure_start, now]``, non-destructive."""
+        """Mid-run metrics over ``[measure_start, now]``, non-destructive.
+
+        Deferred views refresh here: the snapshot is their observation
+        point, so the reported view values reflect every install taken so
+        far (staleness accounting stays exact — the refresh closes the
+        deferred portion of the stale interval at ``now``).
+        """
         now = self.clock.now
+        if len(self.views):
+            self.views.refresh(now)
         return collect_result(
             self._parts,
             now - self.measure_start,
@@ -444,6 +471,14 @@ class LiveRuntime:
             if self.update_log is not None:
                 gauges["log_records_appended"] = self.update_log.records_appended
                 gauges["log_next_lsn"] = self.update_log.next_lsn
+        if self.durability is not None:
+            gauges["snapshots_taken"] = self.durability.snapshots_taken
+            gauges["snapshot_errors"] = self.durability.snapshot_errors
+            gauges["last_snapshot_error"] = self.durability.last_snapshot_error
+        if len(self.views):
+            gauges["views_registered"] = len(self.views)
+            gauges["view_refreshes"] = self.views.refreshes
+            gauges["view_pending_deltas"] = self.views.pending_deltas()
         return gauges
 
     # ------------------------------------------------------------------

@@ -348,6 +348,22 @@ class IngestServer:
                             reply = {**reply, "rid": rid}
                         self._reply(replies, reply, protocol)
                         continue
+                    if kind == "register_view":
+                        # Flush pending updates first so the new view's
+                        # initial materialization sees every install the
+                        # wire order implies.
+                        if updates:
+                            runtime.ingest_batch(updates)
+                            updates.clear()
+                        runtime.register_view(dict(record.get("view") or {}))
+                        reply = {
+                            "kind": "view-registered",
+                            "name": record.get("view", {}).get("name"),
+                        }
+                        if rid is not None:
+                            reply["rid"] = rid
+                        self._reply(replies, reply, protocol)
+                        continue
                     if kind == "hello":
                         self.hello_records += 1
                         if record.get("mode") == "direct" and session is not None:

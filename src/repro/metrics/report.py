@@ -64,6 +64,10 @@ def format_result(result: SimulationResult) -> str:
         ("updates expired", result.updates_expired),
         ("mean update-queue length", f"{result.mean_update_queue_length:.1f}"),
     ]
+    if result.views_registered:
+        rows.append(("fold_views", f"{result.fold_views:.4f}"))
+        rows.append(("views registered", result.views_registered))
+        rows.append(("view delta refreshes", result.view_refreshes))
     return format_table(
         ("metric", "value"),
         rows,

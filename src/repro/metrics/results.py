@@ -80,6 +80,11 @@ class SimulationResult:
     preemptions: int
     events_dispatched: int
 
+    # Derived views (repro.db.views); all zero when none are registered.
+    fold_views: float = 0.0
+    views_registered: int = 0
+    view_refreshes: int = 0
+
     extras: dict = field(default_factory=dict)
 
     @property
@@ -208,6 +213,15 @@ class SimulationResult:
             return numerator / denominator
 
         duration = max(result.duration for result in shard_results)
+        # fold_views is each shard's time-average over its *registered*
+        # views, so the exact fleet-wide counterpart weights by how many
+        # views each shard maintains (every shard normally registers the
+        # same specs, making this the plain mean).
+        view_weights = [
+            float(result.views_registered) for result in shard_results
+        ]
+        if sum(view_weights) == 0:
+            view_weights = None
         committed = total("transactions_committed")
         committed_fresh = total("transactions_committed_fresh")
         missed = total("transactions_missed")
@@ -256,6 +270,9 @@ class SimulationResult:
             context_switches=total("context_switches"),
             preemptions=total("preemptions"),
             events_dispatched=total("events_dispatched"),
+            fold_views=weighted("fold_views", view_weights),
+            views_registered=total("views_registered"),
+            view_refreshes=total("view_refreshes"),
             extras=extras if extras is not None else {},
         )
 

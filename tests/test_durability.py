@@ -444,6 +444,78 @@ def test_snapshot_rotate_bounds_replay(tmp_path):
     assert manager2.replayer.scan.base_lsn == manager2.replayer.snapshot_lsn
 
 
+def test_snapshot_loop_failure_is_counted_and_surfaced(tmp_path, monkeypatch,
+                                                       caplog):
+    """A failing periodic capture must not pass silently: the loop keeps
+    running, the failure is counted, kept as ``last_snapshot_error``,
+    logged as a warning, and exposed through the runtime gauges (mirroring
+    ``MetricsStreamer._note_sample_error``)."""
+    import logging
+
+    import repro.live.durability as durability_mod
+
+    config = _config()
+    manager = DurabilityManager(str(tmp_path / "wal"), 0,
+                                snapshot_interval=0.02)
+    clock = Engine()
+    runtime = LiveRuntime(config, "TF", clock=clock)
+    manager.attach(runtime)
+    runtime.ingest_batch(_draw_updates(config, 20))
+    clock.run_until(2.0)
+
+    boom = OSError("disk full")
+
+    def failing_capture(*args, **kwargs):
+        raise boom
+
+    monkeypatch.setattr(durability_mod, "capture_state", failing_capture)
+
+    async def scenario():
+        manager.start(runtime)
+        while manager.snapshot_errors < 2:
+            await asyncio.sleep(0.01)
+        await manager.stop(runtime, final_snapshot=False)
+
+    with caplog.at_level(logging.WARNING, logger="repro.live.durability"):
+        asyncio.run(asyncio.wait_for(scenario(), timeout=OP_TIMEOUT))
+
+    # Counted — and the loop survived the first failure to fail again.
+    assert manager.snapshot_errors >= 2
+    assert manager.snapshots_taken == 0
+    assert manager.last_snapshot_error == repr(boom)
+    assert any("snapshot failed" in record.getMessage()
+               for record in caplog.records)
+
+    # Surfaced: the attached runtime's gauges carry the counters, which is
+    # what worker liveness() and merged cluster extras read from.
+    gauges = runtime._gauges(clock.now)
+    assert gauges["snapshot_errors"] == manager.snapshot_errors
+    assert gauges["last_snapshot_error"] == repr(boom)
+    assert gauges["snapshots_taken"] == 0
+
+    # A later successful capture keeps the error breadcrumbs (last error
+    # stays visible; only the taken-counter advances).
+    monkeypatch.undo()
+    manager.log.open()          # stop() closed it
+    manager.snapshot_now(runtime)
+    assert manager.snapshots_taken == 1
+    assert manager.snapshot_errors >= 2
+    assert manager.last_snapshot_error == repr(boom)
+    manager.log.close()
+
+
+def test_worker_liveness_reports_snapshot_errors():
+    """Cluster liveness rows expose the snapshot-error breadcrumbs."""
+    from repro.live.cluster import WorkerState
+
+    state = WorkerState(index=1)
+    state.snapshot_errors = 3
+    state.last_snapshot_error = "OSError('disk full')"
+    row = state.liveness()
+    assert row["snapshot_errors"] == 3
+    assert row["last_snapshot_error"] == "OSError('disk full')"
+
+
 # ----------------------------------------------------------------------
 # Process: supervised warm restart of a real shard worker
 # ----------------------------------------------------------------------

@@ -117,6 +117,16 @@ class TestQueries:
         assert table.reads >= 2
         assert table.writes == writes_before + 1
 
+    def test_scan_counts_read_at_call_time(self):
+        """An abandoned (never-consumed) scan still counts as a read."""
+        table = holdings()
+        reads_before = table.reads
+        iterator = table.scan()
+        assert table.reads == reads_before + 1
+        # Consuming the iterator does not double-count.
+        list(iterator)
+        assert table.reads == reads_before + 1
+
 
 class TestSecondaryIndexes:
     def test_index_answers_lookup(self):
@@ -141,6 +151,41 @@ class TestSecondaryIndexes:
             table.create_index("symbol")
         with pytest.raises(SchemaError):
             table.create_index("nope")
+
+    def test_update_where_leaves_untouched_index_buckets_alone(self):
+        """Changing an unindexed column must not churn secondary indexes:
+        buckets for columns outside ``changes`` keep their identity."""
+        table = holdings()
+        table.create_index("desk")
+        buckets_before = {
+            value: bucket for value, bucket in table._secondary["desk"].items()
+        }
+        touched = table.update_where(
+            lambda row: row["desk"] == "arb", {"shares": 7}
+        )
+        assert touched == 2
+        for value, bucket in table._secondary["desk"].items():
+            assert bucket is buckets_before[value]
+        assert all(r["shares"] == 7 for r in table.lookup("desk", "arb"))
+
+    def test_update_where_still_moves_changed_indexed_rows(self):
+        table = holdings()
+        table.create_index("desk")
+        table.update_where(lambda row: row["desk"] == "arb", {"desk": "fx"})
+        assert table.lookup("desk", "arb") == []
+        assert {r["symbol"] for r in table.lookup("desk", "fx")} >= {"HP", "IBM"}
+
+    def test_mutation_listener_sees_old_and_new_rows(self):
+        table = holdings()
+        events = []
+        table.add_listener(lambda old, new: events.append((old, new)))
+        table.upsert({"symbol": "NEW", "shares": 5, "desk": "fx"})
+        assert events[-1][0] is None and events[-1][1]["symbol"] == "NEW"
+        table.update_where(lambda row: row["symbol"] == "NEW", {"shares": 9})
+        old, new = events[-1]
+        assert old["shares"] == 5 and new["shares"] == 9
+        table.delete("NEW")
+        assert events[-1][0]["symbol"] == "NEW" and events[-1][1] is None
 
 
 operations = st.lists(
